@@ -1,0 +1,30 @@
+"""Figure 1 — CDF of the disjoint-path probability Φ.
+
+Paper: mean Φ = 0.92; fewer than 10% of destinations at Φ <= 0.7; more
+than 75% above 0.9.
+"""
+
+from repro.experiments.figures import fig1_phi_cdf
+from repro.experiments.reporting import cdf_sparkline, format_table
+
+
+def test_fig1_phi_cdf(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        fig1_phi_cdf, args=(experiment_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== Figure 1: CDF of Phi ==")
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ("mean Phi", "0.92", f"{data.mean_phi:.3f}"),
+                ("fraction with Phi <= 0.7", "< 0.10", f"{data.fraction_below_070:.3f}"),
+                ("fraction with Phi > 0.9", "> 0.75", f"{data.fraction_above_090:.3f}"),
+            ],
+        )
+    )
+    print(f"CDF sketch (Phi 0->1): |{cdf_sparkline(data.cdf)}|")
+    assert 0.85 <= data.mean_phi <= 1.0
+    assert data.fraction_below_070 < 0.10
+    assert data.fraction_above_090 > 0.75

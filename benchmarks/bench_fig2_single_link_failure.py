@@ -1,0 +1,24 @@
+"""Figure 2 — ASes with transient problems after a single provider-link
+failure.
+
+Paper (27k-AS RouteViews graph, 100 instances): BGP 6604, R-BGP without
+RCI 2097, R-BGP 0, STAMP 357.  Absolute counts scale with graph size;
+the ordering and rough ratios are the reproduction target.
+"""
+
+from benchmarks.conftest import print_failure_figure
+from repro.experiments.figures import fig2_single_link_failure
+
+PAPER = {"bgp": 6604, "rbgp-norci": 2097, "rbgp": 0, "stamp": 357}
+
+
+def test_fig2_single_link_failure(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        fig2_single_link_failure, args=(experiment_config,), rounds=1, iterations=1
+    )
+    measured = data.mean_affected()
+    print_failure_figure("Figure 2: single provider-link failure", PAPER, measured)
+    # Shape assertions: strict ordering of the paper's bars.
+    assert measured["bgp"] > measured["rbgp-norci"] > measured["stamp"]
+    assert measured["rbgp"] <= measured["stamp"] + 1e-9
+    assert measured["rbgp"] < 0.02 * max(measured["bgp"], 1.0)

@@ -1,0 +1,29 @@
+"""Figure 3(a) — two simultaneous link failures at distinct ASes.
+
+Paper: BGP 10314, R-BGP without RCI 4242, R-BGP 861, STAMP 845 —
+STAMP and R-BGP perform similarly under failures STAMP cannot treat as
+one routing event.
+"""
+
+from benchmarks.conftest import print_failure_figure
+from repro.experiments.figures import fig3a_two_links_distinct_as
+
+PAPER = {"bgp": 10314, "rbgp-norci": 4242, "rbgp": 861, "stamp": 845}
+
+
+def test_fig3a_two_links_distinct_as(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        fig3a_two_links_distinct_as,
+        args=(experiment_config,),
+        rounds=1,
+        iterations=1,
+    )
+    measured = data.mean_affected()
+    print_failure_figure(
+        "Figure 3(a): two failed links not at the same AS", PAPER, measured
+    )
+    assert measured["bgp"] > measured["rbgp-norci"]
+    assert measured["rbgp-norci"] > measured["rbgp"]
+    # STAMP and R-BGP are both an order of magnitude below BGP.
+    assert measured["stamp"] < 0.2 * measured["bgp"]
+    assert measured["rbgp"] < 0.2 * measured["bgp"]

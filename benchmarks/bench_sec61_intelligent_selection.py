@@ -1,0 +1,29 @@
+"""Section 6.1 — intelligent locked-blue-provider selection.
+
+Paper: letting the origin pick its locked blue provider intelligently
+raises the disjoint-path probability from 92% to 97%.
+"""
+
+from repro.experiments.figures import sec61_intelligent_selection
+from repro.experiments.reporting import format_table
+
+
+def test_sec61_intelligent_selection(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        sec61_intelligent_selection,
+        args=(experiment_config,),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("== Section 6.1: locked-blue-provider selection ==")
+    print(
+        format_table(
+            ["strategy", "paper", "measured mean Phi"],
+            [
+                ("random", "0.92", f"{data.mean_phi_random:.3f}"),
+                ("intelligent (origin)", "0.97", f"{data.mean_phi_intelligent:.3f}"),
+            ],
+        )
+    )
+    assert data.mean_phi_intelligent >= data.mean_phi_random

@@ -1,0 +1,26 @@
+"""Section 6.2.2 (text) — single AS (node) failure.
+
+The paper reports that "a similar set of conclusions hold in the
+presence of single node (AS) failures, which correspond to an AS
+withdrawing a route from all its neighbors": STAMP treats the node loss
+as one routing event and keeps its advantage.
+"""
+
+from benchmarks.conftest import print_failure_figure
+from repro.experiments.figures import node_failure_comparison
+
+#: No absolute numbers in the paper; the ordering is the target.
+PAPER = {"bgp": "(large)", "rbgp-norci": "(mid)", "rbgp": "(small)", "stamp": "(small)"}
+
+
+def test_sec62_node_failure(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        node_failure_comparison, args=(experiment_config,), rounds=1, iterations=1
+    )
+    measured = data.mean_affected()
+    print()
+    print("== Section 6.2.2: single node (AS) failure ==")
+    for protocol, value in measured.items():
+        print(f"  {protocol:12s} mean affected ASes: {value:8.1f}")
+    assert measured["bgp"] >= measured["rbgp-norci"]
+    assert measured["stamp"] < 0.25 * max(measured["bgp"], 1.0)

@@ -1,0 +1,39 @@
+"""Section 6.3 — convergence delay.
+
+Paper: "in spite of the possibility of back-tracking caused by its
+selective announcement rules, STAMP actually converges faster than
+standard BGP in response to the same routing event."  We report both
+control-plane quiescence time and the data-plane disruption duration;
+the latter is where STAMP's advantage is unambiguous (packets keep
+flowing on the complementary color while the damaged tree re-converges).
+"""
+
+from repro.experiments.figures import sec63_convergence_delay
+from repro.experiments.reporting import format_table
+
+
+def test_sec63_convergence_delay(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        sec63_convergence_delay, args=(experiment_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== Section 6.3: convergence delay after a single link failure ==")
+    print(
+        format_table(
+            ["metric", "BGP", "STAMP"],
+            [
+                (
+                    "control-plane quiescence (s)",
+                    f"{data.mean_seconds_bgp:.1f}",
+                    f"{data.mean_seconds_stamp:.1f}",
+                ),
+                (
+                    "data-plane disruption (s)",
+                    f"{data.mean_disruption_bgp:.2f}",
+                    f"{data.mean_disruption_stamp:.2f}",
+                ),
+            ],
+        )
+    )
+    # STAMP's data plane recovers at least as fast as BGP's.
+    assert data.mean_disruption_stamp <= data.mean_disruption_bgp + 1.0

@@ -1,0 +1,27 @@
+"""Section 6.3 — partial deployment at tier-1 ASes only.
+
+Paper: deploying STAMP only at tier-1 ASes still leaves about 75% of
+all ASes with two downhill node-disjoint paths to any destination.
+"""
+
+from repro.experiments.figures import sec63_partial_deployment
+from repro.experiments.reporting import format_table
+
+
+def test_sec63_partial_deployment(benchmark, experiment_config):
+    data = benchmark.pedantic(
+        sec63_partial_deployment, args=(experiment_config,), rounds=1, iterations=1
+    )
+    print()
+    print("== Section 6.3: partial deployment ==")
+    print(
+        format_table(
+            ["deployment", "paper", "measured fraction"],
+            [
+                ("tier-1 only", "~0.75", f"{data.tier1_only_fraction:.3f}"),
+                ("full (disjoint pair exists)", "-", f"{data.full_deployment_fraction:.3f}"),
+            ],
+        )
+    )
+    assert 0.5 <= data.tier1_only_fraction <= 1.0
+    assert data.tier1_only_fraction <= data.full_deployment_fraction

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Disjoint-path probability analysis (the paper's Figure 1 pipeline).
+
+Computes Φ for every destination of a generated topology, prints the
+CDF summary, and shows how intelligent locked-blue-provider selection
+at the origin improves the odds (paper section 6.1).
+
+Run:  python examples/disjoint_path_analysis.py
+"""
+
+from repro.analysis.cdf import fraction_at_most, fraction_greater, mean
+from repro.analysis.phi import (
+    best_blue_provider,
+    phi_distribution,
+    phi_for_destination,
+    phi_with_intelligent_selection,
+)
+from repro.experiments.reporting import cdf_sparkline
+from repro.analysis.cdf import empirical_cdf
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+
+def main() -> None:
+    config = InternetTopologyConfig(seed=4)
+    graph, tiers = generate_internet_topology(config)
+    print(f"Topology: {graph} with tier-1 clique {graph.tier1s()}")
+
+    results = phi_distribution(graph)
+    phis = [r.phi for r in results]
+    print(f"\nPhi over {len(phis)} destinations:")
+    print(f"  mean                : {mean(phis):.3f}   (paper: 0.92)")
+    print(f"  fraction <= 0.7     : {fraction_at_most(phis, 0.7):.3f}   (paper: < 0.10)")
+    print(f"  fraction  > 0.9     : {fraction_greater(phis, 0.9):.3f}   (paper: > 0.75)")
+    print(f"  CDF sketch          : |{cdf_sparkline(empirical_cdf(phis))}|")
+
+    smart = [phi_with_intelligent_selection(graph, d) for d in graph.ases]
+    print(f"\nIntelligent origin selection (paper 6.1: 92% -> 97%):")
+    print(f"  random choice mean      : {mean(phis):.3f}")
+    print(f"  intelligent choice mean : {mean([r.phi for r in smart]):.3f}")
+
+    # Drill into one multi-homed stub.
+    stub = next(a for a in tiers.stub if graph.is_multihomed(a))
+    detail = phi_for_destination(graph, stub)
+    print(f"\nDestination AS {stub}: providers={graph.providers(stub)}")
+    print(f"  uphill tier-1 chains (lambda) : {detail.n_paths}")
+    print(f"  good locked blue chains       : {detail.n_good}")
+    print(f"  Phi                           : {detail.phi:.3f}")
+    print(f"  best locked blue provider     : {best_blue_provider(graph, stub)}")
+
+
+if __name__ == "__main__":
+    main()

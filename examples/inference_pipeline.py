@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The paper's topology pipeline, end to end.
+
+The paper derives its AS graph from RouteViews BGP tables with
+relationships inferred by Gao's algorithm.  This example closes that
+loop synthetically: generate a ground-truth topology, synthesize
+RouteViews-style table dumps from converged routes, run Gao's inference
+on the raw AS paths, and score the result against the ground truth.
+
+Run:  python examples/inference_pipeline.py
+"""
+
+import io
+
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+from repro.topology.inference import infer_relationships
+from repro.topology.routeviews import all_paths, dump_tables, parse_tables, synthesize_routeviews_tables
+
+
+def main() -> None:
+    config = InternetTopologyConfig(
+        seed=33, n_tier1=5, n_tier2=20, n_tier3=50, n_stub=120
+    )
+    truth, _ = generate_internet_topology(config)
+    print(f"Ground truth: {truth}")
+
+    tables = synthesize_routeviews_tables(truth, n_vantages=15, seed=2)
+    print(f"Synthesized {len(tables)} vantage-point tables "
+          f"({sum(len(t.paths) for t in tables)} AS paths)")
+
+    # Round-trip through the text dump format, as if reading a feed.
+    buffer = io.StringIO()
+    dump_tables(tables, buffer)
+    buffer.seek(0)
+    tables = parse_tables(buffer)
+
+    result = infer_relationships(all_paths(tables))
+    print(f"Inferred: {len(result.c2p_links)} customer-provider links, "
+          f"{len(result.peer_links)} peer links, "
+          f"{len(result.sibling_links)} sibling candidates")
+
+    accuracy = result.accuracy_against(truth)
+    print("\nAccuracy against ground truth:")
+    for name, value in sorted(accuracy.items()):
+        print(f"  {name:8s}: {value:.3f}")
+    print("\n(c2p recovery is strong; degree-based peer detection is the "
+          "algorithm's known weak spot, amplified at small scale.)")
+
+
+if __name__ == "__main__":
+    main()

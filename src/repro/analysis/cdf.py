@@ -1,0 +1,39 @@
+"""Small empirical-CDF helpers used by the figure benches."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def empirical_cdf(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """Sorted ``(value, cumulative fraction)`` points.
+
+    The fraction at each point is the share of samples <= that value.
+    """
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    return [(value, (index + 1) / n) for index, value in enumerate(data)]
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Share of samples <= threshold."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(1 for v in data if v <= threshold) / len(data)
+
+
+def fraction_greater(values: Sequence[float], threshold: float) -> float:
+    """Share of samples > threshold."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(1 for v in data if v > threshold) / len(data)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    data = list(values)
+    return sum(data) / len(data) if data else 0.0

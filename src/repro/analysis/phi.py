@@ -1,0 +1,199 @@
+"""The paper's disjoint-path probability Φ (section 6.1, Figure 1).
+
+For a multi-homed destination AS *m*, let λ be the number of uphill
+paths (provider chains) from *m* to any tier-1 AS.  A path *l* is a
+"good" locked blue path if, with the interior of *l* removed, another
+uphill path from *m* to a different tier-1 still exists (then STAMP is
+guaranteed to find a red path).  With the locked blue provider chosen
+uniformly at random, Φ_m = λ'/λ where λ' counts good paths.
+
+Single-homed destinations inherit the Φ of their first multi-homed
+direct/indirect provider (footnote 4).  Boundary cases we define (the
+paper leaves them implicit):
+
+* a tier-1 destination gets Φ = 1.0 (its prefix floods both colors
+  through the fully-peered core; no locked chain is needed);
+* a destination whose single-homed chain reaches a tier-1 without ever
+  meeting a multi-homed AS gets Φ = 0.0 (no disjoint pair can exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import ASGraph
+from repro.types import ASN
+
+
+@dataclass(frozen=True)
+class PhiResult:
+    """Φ for one destination."""
+
+    destination: ASN
+    phi: float
+    #: λ — number of uphill tier-1 paths enumerated from the anchor.
+    n_paths: int
+    #: λ' — number of good locked blue paths.
+    n_good: int
+    #: The multi-homed AS whose Φ this is (footnote 4); equals the
+    #: destination unless it is single-homed.
+    anchor: Optional[ASN]
+    #: Whether path enumeration hit the cap (Φ is then an estimate).
+    capped: bool = False
+
+
+def uphill_paths_to_tier1(
+    graph: ASGraph, start: ASN, *, max_paths: int = 100_000
+) -> Tuple[List[Tuple[ASN, ...]], bool]:
+    """Enumerate every provider chain from ``start`` to a tier-1.
+
+    Returns ``(paths, capped)``; each path starts at ``start`` and ends
+    at a tier-1 AS.  Enumeration stops (capped=True) at ``max_paths``.
+    """
+    if max_paths < 1:
+        raise ConfigurationError("max_paths must be positive")
+    paths: List[Tuple[ASN, ...]] = []
+    capped = False
+    stack: List[Tuple[ASN, Tuple[ASN, ...]]] = [(start, (start,))]
+    while stack:
+        node, path = stack.pop()
+        if graph.is_tier1(node):
+            paths.append(path)
+            if len(paths) >= max_paths:
+                capped = True
+                break
+            continue
+        # The provider hierarchy is acyclic, so no visited-set is
+        # needed within one chain.
+        for provider in reversed(graph.providers(node)):
+            stack.append((provider, path + (provider,)))
+    return paths, capped
+
+
+def _disjoint_alternative_exists(
+    graph: ASGraph, start: ASN, blocked: Set[ASN]
+) -> bool:
+    """Uphill reachability of any tier-1 from ``start`` avoiding ``blocked``."""
+    seen: Set[ASN] = set()
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for provider in graph.providers(node):
+            if provider in blocked or provider in seen:
+                continue
+            if graph.is_tier1(provider):
+                return True
+            stack.append(provider)
+    return False
+
+
+def phi_for_destination(
+    graph: ASGraph, destination: ASN, *, max_paths: int = 100_000
+) -> PhiResult:
+    """Compute Φ for one destination AS."""
+    anchor = _phi_anchor(graph, destination)
+    if anchor is None:
+        if graph.is_tier1(destination):
+            return PhiResult(destination, 1.0, 0, 0, None)
+        return PhiResult(destination, 0.0, 0, 0, None)
+    paths, capped = uphill_paths_to_tier1(graph, anchor, max_paths=max_paths)
+    if not paths:
+        return PhiResult(destination, 0.0, 0, 0, anchor, capped)
+    good = 0
+    for path in paths:
+        blocked = set(path) - {anchor}
+        if _disjoint_alternative_exists(graph, anchor, blocked):
+            good += 1
+    return PhiResult(
+        destination, good / len(paths), len(paths), good, anchor, capped
+    )
+
+
+def _phi_anchor(graph: ASGraph, destination: ASN) -> Optional[ASN]:
+    """The multi-homed AS whose Φ the destination inherits."""
+    if graph.is_multihomed(destination):
+        return destination
+    return graph.first_multihomed_ancestor(destination)
+
+
+def phi_distribution(
+    graph: ASGraph,
+    destinations: Optional[Sequence[ASN]] = None,
+    *,
+    max_paths: int = 100_000,
+) -> List[PhiResult]:
+    """Φ for every destination (Figure 1's underlying data)."""
+    dests = list(destinations) if destinations is not None else graph.ases
+    return [
+        phi_for_destination(graph, dest, max_paths=max_paths) for dest in dests
+    ]
+
+
+# ----------------------------------------------------------------------
+# Intelligent locked-blue-provider selection (section 6.1)
+# ----------------------------------------------------------------------
+
+
+def conditional_phi_by_provider(
+    graph: ASGraph, origin: ASN, *, max_paths: int = 100_000
+) -> Dict[ASN, Tuple[int, int]]:
+    """Per-first-hop statistics: provider -> (good paths, total paths).
+
+    Conditioning Φ on the origin's first-hop choice: paths through
+    provider ``p`` are the locked blue chains possible once the origin
+    picks ``p``.
+    """
+    anchor = _phi_anchor(graph, origin)
+    if anchor is None:
+        return {}
+    paths, _ = uphill_paths_to_tier1(graph, anchor, max_paths=max_paths)
+    stats: Dict[ASN, Tuple[int, int]] = {}
+    for path in paths:
+        first_hop = path[1] if len(path) > 1 else None
+        if first_hop is None:
+            continue
+        good = _disjoint_alternative_exists(graph, anchor, set(path) - {anchor})
+        hits, total = stats.get(first_hop, (0, 0))
+        stats[first_hop] = (hits + (1 if good else 0), total + 1)
+    return stats
+
+
+def phi_with_intelligent_selection(
+    graph: ASGraph, destination: ASN, *, max_paths: int = 100_000
+) -> PhiResult:
+    """Φ when the origin picks its locked blue provider intelligently.
+
+    The origin fixes the first hop to the provider with the highest
+    conditional good fraction; intermediate ASes still choose randomly,
+    so Φ becomes the conditional fraction of that best provider.
+    """
+    anchor = _phi_anchor(graph, destination)
+    if anchor is None:
+        return phi_for_destination(graph, destination, max_paths=max_paths)
+    stats = conditional_phi_by_provider(graph, anchor, max_paths=max_paths)
+    if not stats:
+        return phi_for_destination(graph, destination, max_paths=max_paths)
+    best = max(
+        stats.items(),
+        key=lambda item: (item[1][0] / item[1][1], -item[0]),
+    )
+    provider, (good, total) = best
+    del provider
+    return PhiResult(destination, good / total, total, good, anchor)
+
+
+def best_blue_provider(
+    graph: ASGraph, origin: ASN, *, max_paths: int = 100_000
+) -> Optional[ASN]:
+    """The origin's best locked-blue-provider choice, or ``None``."""
+    stats = conditional_phi_by_provider(graph, origin, max_paths=max_paths)
+    if not stats:
+        return None
+    return max(
+        stats.items(), key=lambda item: (item[1][0] / item[1][1], -item[0])
+    )[0]

@@ -1,0 +1,177 @@
+"""Counting ASes that experience transient routing problems.
+
+The paper's metric (section 6.2): after a routing event, an AS
+"experiences transient problems" if at any instant during convergence
+the data plane from it toward the destination loops or blackholes —
+given that it had working connectivity before the event.  We replay the
+forwarding-change trace and classify every eligible AS at every instant
+at which any control-plane state changed, including the instant of the
+event itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.forwarding.walk import WalkClassifier
+from repro.sim.tracing import ForwardingTrace
+from repro.types import ASN, Link, Outcome
+
+
+@dataclass
+class TransientReport:
+    """Result of one scenario's transient-problem analysis."""
+
+    #: ASes that were delivered pre-event (the eligible population).
+    eligible: Set[ASN] = field(default_factory=set)
+    #: Eligible ASes that looped or blackholed at some instant but
+    #: regained connectivity by convergence (*transient* problems, the
+    #: paper's metric).
+    affected: Set[ASN] = field(default_factory=set)
+    #: Eligible ASes left without connectivity even after convergence:
+    #: the event partitioned them (policy-wise) from the destination.
+    #: No protocol can help these, so they are not "transient".
+    permanently_unreachable: Set[ASN] = field(default_factory=set)
+    #: Eligible ASes that ever looped.
+    looped: Set[ASN] = field(default_factory=set)
+    #: Eligible ASes that ever blackholed.
+    blackholed: Set[ASN] = field(default_factory=set)
+    #: (time, cumulative #affected) series.
+    timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: (time, #currently-problematic) series — the data-plane health.
+    problem_timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def affected_count(self) -> int:
+        """Number of ASes with transient problems (the paper's y-axis)."""
+        return len(self.affected)
+
+    @property
+    def disruption_duration(self) -> float:
+        """Seconds between the event and the last observed problem.
+
+        This is the data-plane view of convergence: how long any
+        eligible AS kept losing packets.  Zero when the data plane never
+        broke (or broke only at the event instant itself).
+        """
+        start = end = None
+        for time, problems in self.problem_timeline:
+            if problems > 0:
+                if start is None:
+                    start = time
+                end = None
+            elif start is not None and end is None:
+                end = time
+        if start is None:
+            return 0.0
+        if end is None:  # never observed recovering (permanent cases)
+            end = self.problem_timeline[-1][0]
+        return end - start
+
+
+def analyze_transient_problems(
+    trace: ForwardingTrace,
+    initial_state: Dict,
+    plane: WalkClassifier,
+    ases: Iterable[ASN],
+    *,
+    failed_links: FrozenSet[Link] = frozenset(),
+    failed_ases: FrozenSet[ASN] = frozenset(),
+    pre_event_state: Optional[Dict] = None,
+    include_detection_instant: bool = False,
+    min_duration: float = 0.0,
+) -> TransientReport:
+    """Replay a trace and count affected ASes.
+
+    ``initial_state`` is the control-plane state at the instant the
+    event fires (trace key space).  ``pre_event_state`` defaults to
+    ``initial_state`` evaluated *without* failures and determines
+    eligibility (ASes that could deliver before the event).
+
+    The first classified snapshot is the event instant *after* the
+    event-adjacent ASes have reacted (detection is atomic in the
+    simulator).  This matches the paper's Theorem 5.1, which promises
+    protection "once the ASes adjacent to where the routing event
+    occurred have detected the event"; the un-detectable in-flight
+    window penalizes every protocol identically and can be included
+    with ``include_detection_instant=True``.
+
+    ``min_duration`` (optional) filters micro-outages: an AS counts as
+    affected only if some continuous problem interval lasts at least
+    this many simulated seconds.  The default (0.0) counts a problem at
+    any instant, which is the strictest reading of the paper's metric.
+    """
+    report = TransientReport()
+    all_ases = list(ases)
+
+    baseline_state = pre_event_state if pre_event_state is not None else initial_state
+    baseline = plane.classify(baseline_state, all_ases)
+    report.eligible = {
+        asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
+    } - set(failed_ases)
+    if not report.eligible:
+        return report
+
+    eligible = report.eligible
+
+    # Open problem intervals: asn -> (start time, kinds seen so far).
+    problem_since: Dict[ASN, Tuple[float, Set[Outcome]]] = {}
+    last_time = 0.0
+
+    def close_interval(asn: ASN, end: float) -> None:
+        start, kinds = problem_since.pop(asn)
+        if end - start < min_duration:
+            return
+        report.affected.add(asn)
+        if Outcome.LOOP in kinds:
+            report.looped.add(asn)
+        if Outcome.BLACKHOLE in kinds:
+            report.blackholed.add(asn)
+
+    def scan(state: Dict, time: float) -> None:
+        outcomes = plane.classify(
+            state, eligible, failed_links=failed_links, failed_ases=failed_ases
+        )
+        problems_now = 0
+        for asn in eligible:
+            outcome = outcomes.get(asn, Outcome.BLACKHOLE)
+            if outcome is Outcome.DELIVERED:
+                if asn in problem_since:
+                    close_interval(asn, time)
+                continue
+            problems_now += 1
+            if asn not in problem_since:
+                problem_since[asn] = (time, set())
+            problem_since[asn][1].add(outcome)
+        report.timeline.append((time, len(report.affected)))
+        report.problem_timeline.append((time, problems_now))
+
+    if include_detection_instant:
+        event_time = trace.changes[0].time if trace.changes else 0.0
+        scan(dict(initial_state), event_time)
+
+    final_state = dict(initial_state)
+    for time, state in trace.replay(initial_state):
+        scan(state, time)
+        final_state = state
+        last_time = time
+
+    # Separate permanent (topology-induced) unreachability from
+    # transient problems: an AS still failing in the fully converged
+    # state was partitioned by the event, not disrupted by convergence.
+    final_outcomes = plane.classify(
+        final_state, eligible, failed_links=failed_links, failed_ases=failed_ases
+    )
+    for asn in eligible:
+        if final_outcomes.get(asn, Outcome.BLACKHOLE) is not Outcome.DELIVERED:
+            report.permanently_unreachable.add(asn)
+            problem_since.pop(asn, None)
+    # Close intervals still open at convergence.  They recovered by the
+    # final snapshot's classification above, so end them there.
+    for asn in list(problem_since):
+        close_interval(asn, last_time)
+    report.affected -= report.permanently_unreachable
+    report.looped -= report.permanently_unreachable
+    report.blackholed -= report.permanently_unreachable
+    return report

@@ -1,0 +1,30 @@
+"""Event-driven BGP simulator (policy path-vector, Gao-Rexford policies).
+
+This package is the substrate every protocol in the paper builds on:
+plain BGP is the baseline of Figures 2-3, R-BGP subclasses the speaker,
+and each STAMP color process is one (slightly extended) speaker with a
+selective-announcement gate installed.
+"""
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.ribs import Route, AdjRibIn
+from repro.bgp.policy import export_allowed, import_accept, relationship_pref
+from repro.bgp.decision import best_route, route_sort_key
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.bgp.network import BGPNetwork, NetworkConfig
+
+__all__ = [
+    "Announcement",
+    "Withdrawal",
+    "Route",
+    "AdjRibIn",
+    "export_allowed",
+    "import_accept",
+    "relationship_pref",
+    "best_route",
+    "route_sort_key",
+    "BGPSpeaker",
+    "SpeakerConfig",
+    "BGPNetwork",
+    "NetworkConfig",
+]

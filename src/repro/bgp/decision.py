@@ -1,0 +1,55 @@
+"""BGP decision process (best-route selection).
+
+Selection order, matching the static oracle in :mod:`repro.routing`:
+
+1. highest local preference (prefer-customer policy);
+2. shortest AS path;
+3. lowest neighbor ASN (deterministic stand-in for router-ID).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.bgp.policy import relationship_pref
+from repro.bgp.ribs import Route
+from repro.topology.graph import ASGraph
+from repro.types import ASN
+
+
+def route_sort_key(
+    graph: ASGraph, asn: ASN, route: Route, *, prefer_locked: bool = False
+) -> Tuple[int, int, int, int]:
+    """Sort key such that the minimum is the best route.
+
+    ``prefer_locked`` inserts STAMP's lock preference between local
+    preference and path length: a blue process must keep selecting (and
+    hence re-announcing) a Lock-carrying route so the guaranteed blue
+    downhill chain survives route selection.  Locked routes only ever
+    arrive from customers, so this stays within Gao-Rexford safety.
+    """
+    neighbor = route.learned_from if route.learned_from is not None else -1
+    lock_rank = 0 if (prefer_locked and route.lock) else 1
+    return (
+        -relationship_pref(graph, asn, route),
+        lock_rank,
+        route.length,
+        neighbor,
+    )
+
+
+def best_route(
+    graph: ASGraph,
+    asn: ASN,
+    candidates: Iterable[Route],
+    *,
+    prefer_locked: bool = False,
+) -> Optional[Route]:
+    """Pick the best route among candidates, or ``None`` if empty."""
+    best: Optional[Route] = None
+    best_key: Optional[Tuple[int, int, int, int]] = None
+    for route in candidates:
+        key = route_sort_key(graph, asn, route, prefer_locked=prefer_locked)
+        if best_key is None or key < best_key:
+            best, best_key = route, key
+    return best

@@ -1,0 +1,50 @@
+"""BGP update messages for a single implicit prefix.
+
+The simulator studies one destination prefix at a time (as the paper's
+experiments do), so messages carry no NLRI field.  Two optional
+attributes extend plain BGP exactly as the paper prescribes:
+
+* ``lock`` — STAMP's Lock bit on blue announcements (section 4.1);
+* ``et`` — STAMP's 1-bit Event Type (section 5.2).
+
+``root_cause`` carries R-BGP's root cause information (RCI); plain BGP
+and STAMP ignore it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.types import ASN, ASPath, EventType, Link
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """Route advertisement.
+
+    ``path`` is announcer-first: ``path[0]`` is the sending AS,
+    ``path[-1]`` the origin of the prefix.
+    """
+
+    path: ASPath
+    et: EventType = EventType.NO_LOSS
+    lock: bool = False
+    root_cause: Optional[Link] = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("announcement path must be non-empty")
+
+    @property
+    def sender(self) -> ASN:
+        """The AS that sent this announcement."""
+        return self.path[0]
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """Route withdrawal.  Withdrawals are always loss events (ET=0)."""
+
+    et: EventType = EventType.LOSS
+    root_cause: Optional[Link] = None

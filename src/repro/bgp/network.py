@@ -1,0 +1,168 @@
+"""A full network of plain-BGP speakers for one destination prefix.
+
+This is the BGP baseline of the paper's Figures 2-3 and the base class
+for the R-BGP network.  The lifecycle every experiment follows:
+
+1. :meth:`start` — the destination originates; run to convergence.
+2. :meth:`clear_trace` (done by :meth:`start`) — discard initial churn.
+3. inject events (:meth:`fail_link`, :meth:`fail_as`, ...).
+4. :meth:`run_to_convergence` — replay the reaction.
+5. hand :attr:`trace` to the transient-problem analyzer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.bgp.speaker import BGPSpeaker, ProtocolStats, SpeakerConfig
+from repro.errors import ConvergenceError
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.engine import Engine
+from repro.sim.timers import MRAIConfig
+from repro.sim.tracing import ForwardingTrace
+from repro.sim.transport import Transport
+from repro.topology.graph import ASGraph
+from repro.types import ASN, ASPath
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Simulation parameters shared by all protocol networks."""
+
+    seed: int = 0
+    delay: DelayModel = field(default_factory=UniformDelay)
+    mrai: MRAIConfig = field(default_factory=MRAIConfig)
+    #: Hard backstop against non-convergence bugs.
+    max_events_per_phase: int = 20_000_000
+
+
+class BGPNetwork:
+    """All speakers of one protocol instance over an AS graph."""
+
+    #: Trace key used by the single process of each AS.
+    TRACE_KEY: Hashable = None
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        destination: ASN,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        if destination not in graph:
+            raise ValueError(f"destination AS {destination} not in graph")
+        self.graph = graph
+        self.destination = destination
+        self.config = config or NetworkConfig()
+        self.engine = Engine(self.config.seed)
+        self.transport = Transport(self.engine, self.config.delay)
+        self.trace = ForwardingTrace()
+        self.stats = ProtocolStats()
+        self.speakers: Dict[ASN, BGPSpeaker] = {}
+        self._build_speakers()
+
+    # ------------------------------------------------------------------
+    # Construction (overridden by protocol variants)
+    # ------------------------------------------------------------------
+
+    def _build_speakers(self) -> None:
+        speaker_config = SpeakerConfig(mrai=self.config.mrai)
+        for asn in self.graph.ases:
+            speaker = self._make_speaker(asn, speaker_config)
+            self.speakers[asn] = speaker
+            self.transport.register_session_down_listener(
+                asn, speaker.on_session_down
+            )
+
+    def _make_speaker(self, asn: ASN, speaker_config: SpeakerConfig) -> BGPSpeaker:
+        return BGPSpeaker(
+            asn,
+            self.graph,
+            self.engine,
+            self.transport,
+            config=speaker_config,
+            tag=self.TRACE_KEY,
+            trace=self.trace,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> float:
+        """Originate at the destination and run initial convergence.
+
+        Returns the simulated time at which the network first converged.
+        The trace is cleared afterwards so experiments see only
+        post-event dynamics.
+        """
+        self._originate()
+        self.run_to_convergence()
+        self.trace.clear()
+        return self.engine.now
+
+    def _originate(self) -> None:
+        self.speakers[self.destination].originate()
+
+    def run_to_convergence(self) -> float:
+        """Drain all protocol activity; returns elapsed simulated time.
+
+        Raises :class:`ConvergenceError` if the event backstop trips
+        (which would indicate a protocol bug — Gao-Rexford policies
+        guarantee convergence).
+        """
+        started = self.engine.now
+        try:
+            self.engine.run(max_events=self.config.max_events_per_phase)
+        except Exception as exc:
+            raise ConvergenceError(
+                f"no convergence after {self.config.max_events_per_phase} events"
+            ) from exc
+        return self.engine.now - started
+
+    # ------------------------------------------------------------------
+    # Event injection
+    # ------------------------------------------------------------------
+
+    def fail_link(self, a: ASN, b: ASN) -> None:
+        """Fail a link now; both endpoints react immediately."""
+        self.transport.fail_link(a, b)
+
+    def restore_link(self, a: ASN, b: ASN) -> None:
+        """Restore a failed link; both endpoints re-advertise."""
+        self.transport.restore_link(a, b)
+        self._notify_session_up(a, b)
+        self._notify_session_up(b, a)
+
+    def _notify_session_up(self, asn: ASN, peer: ASN) -> None:
+        self.speakers[asn].on_session_up(peer)
+
+    def fail_as(self, asn: ASN) -> None:
+        """Fail an entire AS (all of its sessions reset)."""
+        self.transport.fail_as(asn, self.graph.neighbors(asn))
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def forwarding_state(self) -> Dict[Tuple[ASN, Hashable], Optional[ASPath]]:
+        """Current forwarding state in the trace's key space."""
+        return {
+            (asn, self.TRACE_KEY): speaker.forwarding_path
+            for asn, speaker in self.speakers.items()
+        }
+
+    def best_path(self, asn: ASN) -> Optional[ASPath]:
+        """Full forwarding path of an AS including itself, or ``None``."""
+        speaker = self.speakers[asn]
+        if speaker.best is None:
+            return None
+        return (asn,) + speaker.best.path
+
+    def converged_next_hops(self) -> Dict[ASN, Optional[ASN]]:
+        """Next hop of every AS (``None`` = no route / the origin)."""
+        out: Dict[ASN, Optional[ASN]] = {}
+        for asn, speaker in self.speakers.items():
+            out[asn] = speaker.best.next_hop if speaker.best else None
+        return out

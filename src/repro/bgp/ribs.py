@@ -1,0 +1,83 @@
+"""Routing information bases of one speaker (single prefix).
+
+``Route.path`` follows the announcement convention (announcer-first):
+``path[0]`` is the neighbor the route was learned from, ``path[-1]``
+the origin.  The speaker's own ASN is *not* on the path; the full
+forwarding path from AS X is ``(X,) + route.path``.  An originated
+route has an empty path and no ``learned_from``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.types import ASN, ASPath, EventType
+
+
+@dataclass(frozen=True)
+class Route:
+    """One usable route, as stored in a RIB."""
+
+    path: ASPath
+    learned_from: Optional[ASN]
+    et: EventType = EventType.NO_LOSS
+    lock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.learned_from is None:
+            if self.path:
+                raise ValueError("originated routes must have an empty path")
+        elif not self.path or self.path[0] != self.learned_from:
+            raise ValueError("route path must start at the announcing neighbor")
+
+    @property
+    def is_origin(self) -> bool:
+        """Whether this is the destination's own (originated) route."""
+        return self.learned_from is None
+
+    @property
+    def length(self) -> int:
+        """AS-path length used by the decision process."""
+        return len(self.path)
+
+    @property
+    def next_hop(self) -> Optional[ASN]:
+        """Forwarding next hop (``None`` for the origin itself)."""
+        return self.learned_from
+
+
+class AdjRibIn:
+    """Per-neighbor store of the most recent accepted announcement."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[ASN, Route] = {}
+
+    def update(self, neighbor: ASN, route: Route) -> None:
+        """Replace the route learned from a neighbor."""
+        self._routes[neighbor] = route
+
+    def withdraw(self, neighbor: ASN) -> bool:
+        """Remove the neighbor's route; returns whether one existed."""
+        return self._routes.pop(neighbor, None) is not None
+
+    def get(self, neighbor: ASN) -> Optional[Route]:
+        """Route learned from a neighbor, if any."""
+        return self._routes.get(neighbor)
+
+    def routes(self) -> List[Route]:
+        """All stored routes, in deterministic (neighbor ASN) order."""
+        return [self._routes[nbr] for nbr in sorted(self._routes)]
+
+    def neighbors(self) -> List[ASN]:
+        """Neighbors we currently hold a route from, sorted."""
+        return sorted(self._routes)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(sorted(self._routes))
+
+    def __contains__(self, neighbor: ASN) -> bool:
+        return neighbor in self._routes

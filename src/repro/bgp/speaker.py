@@ -1,0 +1,306 @@
+"""One BGP routing process (single prefix, eBGP, AS-level).
+
+The speaker implements the standard machinery the paper keeps
+unchanged: Adj-RIB-In per neighbor, the decision process, valley-free
+export with MRAI pacing, immediate withdrawals, session resets, and
+AS-path loop rejection.  The paper's two "minor" extensions hook in
+without subclassing:
+
+* an ``export_gate`` callback lets STAMP apply selective announcement
+  toward providers (and set the Lock bit);
+* the ET bit is propagated automatically: any best-route change whose
+  proximate trigger was a loss (withdrawal, session reset, or an update
+  carrying ET=0) sends updates with ET=0.
+
+R-BGP extends the class (see :mod:`repro.rbgp.speaker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.bgp.decision import best_route
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.policy import export_allowed, import_accept
+from repro.bgp.ribs import AdjRibIn, Route
+from repro.sim.engine import Engine
+from repro.sim.timers import MRAIConfig, MRAIPacer
+from repro.sim.tracing import ForwardingTrace
+from repro.sim.transport import Transport
+from repro.types import ASN, ASPath, EventType, Link, normalize_link
+
+#: Export gate: ``(peer, route) -> (allow, lock)``.
+ExportGate = Callable[[ASN, Route], Tuple[bool, bool]]
+#: Best-change observer: ``(speaker, old, new, et)``.
+BestChangeListener = Callable[["BGPSpeaker", Optional[Route], Optional[Route], EventType], None]
+
+#: What we last advertised to a peer: (path-including-self, lock bit).
+Advertised = Tuple[ASPath, bool]
+
+
+@dataclass
+class ProtocolStats:
+    """Message counters for one protocol run (shared across speakers)."""
+
+    announcements: int = 0
+    withdrawals: int = 0
+
+    @property
+    def updates(self) -> int:
+        """Total update messages (announcements + withdrawals)."""
+        return self.announcements + self.withdrawals
+
+
+@dataclass(frozen=True)
+class SpeakerConfig:
+    """Per-speaker protocol knobs."""
+
+    mrai: MRAIConfig = field(default_factory=MRAIConfig)
+    #: STAMP blue processes prefer Lock-carrying routes (section 4.1).
+    prefer_locked: bool = False
+
+
+@dataclass
+class _PendingContext:
+    """Event context accumulated between decision and MRAI flush."""
+
+    et: EventType = EventType.NO_LOSS
+    root_cause: Optional[Link] = None
+
+    def merge(self, et: EventType, root_cause: Optional[Link]) -> None:
+        if et is EventType.LOSS:
+            self.et = EventType.LOSS
+        if root_cause is not None:
+            self.root_cause = root_cause
+
+
+class BGPSpeaker:
+    """A single AS's routing process for one prefix."""
+
+    def __init__(
+        self,
+        asn: ASN,
+        graph,
+        engine: Engine,
+        transport: Transport,
+        *,
+        config: Optional[SpeakerConfig] = None,
+        tag: Hashable = None,
+        sessions: Optional[Iterable[ASN]] = None,
+        trace: Optional[ForwardingTrace] = None,
+        stats: Optional[ProtocolStats] = None,
+        export_gate: Optional[ExportGate] = None,
+        on_best_change: Optional[BestChangeListener] = None,
+    ) -> None:
+        self.asn = asn
+        self.graph = graph
+        self.engine = engine
+        self.transport = transport
+        self.config = config or SpeakerConfig()
+        self.tag = tag
+        self.trace = trace
+        self.stats = stats or ProtocolStats()
+        self.export_gate = export_gate
+        self.on_best_change = on_best_change
+
+        self.sessions: Set[ASN] = set(
+            sessions if sessions is not None else graph.neighbors(asn)
+        )
+        self.adj_rib_in = AdjRibIn()
+        self.best: Optional[Route] = None
+        self.is_origin = False
+        self._advertised: Dict[ASN, Advertised] = {}
+        self._pending: Dict[ASN, _PendingContext] = {}
+        self._pacer = MRAIPacer(engine, self.config.mrai, self._flush_peer)
+
+        transport.register_receiver(asn, self.on_message, tag=tag)
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def originate(self) -> None:
+        """Become the origin of the prefix and start advertising."""
+        self.is_origin = True
+        self._run_decision(EventType.NO_LOSS, None)
+
+    def on_message(self, sender: ASN, message) -> None:
+        """Process one incoming update from a neighbor."""
+        if sender not in self.sessions:
+            return  # stale message from a torn-down session
+        if isinstance(message, Announcement):
+            if import_accept(self.asn, message.path):
+                self.adj_rib_in.update(
+                    sender,
+                    Route(
+                        path=message.path,
+                        learned_from=sender,
+                        et=message.et,
+                        lock=message.lock,
+                    ),
+                )
+            else:
+                # A path through us means the neighbor no longer has an
+                # independent route: implicit withdrawal.
+                self.adj_rib_in.withdraw(sender)
+            self._run_decision(message.et, message.root_cause)
+        elif isinstance(message, Withdrawal):
+            self.adj_rib_in.withdraw(sender)
+            self._run_decision(message.et, message.root_cause)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {message!r}")
+
+    def on_session_down(self, peer: ASN) -> None:
+        """Handle loss of the session to a neighbor (link/node failure)."""
+        if peer not in self.sessions:
+            return
+        self.sessions.discard(peer)
+        self._pacer.cancel(peer)
+        self._advertised.pop(peer, None)
+        self._pending.pop(peer, None)
+        self.adj_rib_in.withdraw(peer)
+        self._run_decision(EventType.LOSS, normalize_link(self.asn, peer))
+
+    def on_session_up(self, peer: ASN) -> None:
+        """(Re-)establish a session and advertise our current state."""
+        if peer in self.sessions:
+            return
+        self.sessions.add(peer)
+        self.refresh_peer(peer)
+
+    # ------------------------------------------------------------------
+    # Decision process
+    # ------------------------------------------------------------------
+
+    def _candidates(self) -> Iterable[Route]:
+        if self.is_origin:
+            return [Route(path=(), learned_from=None)]
+        return self.adj_rib_in.routes()
+
+    def _run_decision(self, cause_et: EventType, root_cause: Optional[Link]) -> None:
+        new = best_route(
+            self.graph,
+            self.asn,
+            self._candidates(),
+            prefer_locked=self.config.prefer_locked,
+        )
+        if new == self.best:
+            return
+        old, self.best = self.best, new
+        et_out = EventType.LOSS if cause_et is EventType.LOSS else EventType.NO_LOSS
+        self._record_best_change(old, new)
+        if self.on_best_change is not None:
+            self.on_best_change(self, old, new, et_out)
+        self.schedule_exports(et_out, root_cause)
+
+    def _record_best_change(self, old: Optional[Route], new: Optional[Route]) -> None:
+        """Publish the new data-plane state to the trace.
+
+        Subclasses may record something other than the raw best path
+        (R-BGP retains stale FIB entries, for instance).
+        """
+        del old
+        if self.trace is not None:
+            state = new.path if new is not None else None
+            self.trace.record(self.engine.now, self.asn, self.tag, state)
+
+    # ------------------------------------------------------------------
+    # Export path
+    # ------------------------------------------------------------------
+
+    def export_for(self, peer: ASN) -> Optional[Advertised]:
+        """What we should currently be advertising to a peer."""
+        if self.best is None or peer not in self.sessions:
+            return None
+        if not export_allowed(self.graph, self.asn, self.best, peer):
+            return None
+        lock = False
+        if self.export_gate is not None:
+            allow, lock = self.export_gate(peer, self.best)
+            if not allow:
+                return None
+        return ((self.asn,) + self.best.path, lock)
+
+    def schedule_exports(
+        self,
+        et: EventType = EventType.NO_LOSS,
+        root_cause: Optional[Link] = None,
+    ) -> None:
+        """Queue (MRAI-paced) re-advertisement to every stale peer."""
+        for peer in sorted(self.sessions):
+            self.refresh_peer(peer, et=et, root_cause=root_cause)
+
+    def refresh_peer(
+        self,
+        peer: ASN,
+        et: EventType = EventType.NO_LOSS,
+        root_cause: Optional[Link] = None,
+    ) -> None:
+        """Re-advertise to one peer if our exported state went stale.
+
+        STAMP's node-level coordination calls this when the color
+        assignment of a provider changes without this process's own
+        best route changing.
+        """
+        if peer not in self.sessions:
+            return
+        desired = self.export_for(peer)
+        if desired == self._advertised.get(peer):
+            self._pending.pop(peer, None)
+            return
+        context = self._pending.setdefault(peer, _PendingContext())
+        context.merge(et, root_cause)
+        self._pacer.request_send(peer, is_withdrawal=desired is None)
+
+    def _flush_peer(self, peer: ASN) -> None:
+        if peer not in self.sessions:
+            return
+        context = self._pending.pop(peer, None)
+        desired = self.export_for(peer)
+        previous = self._advertised.get(peer)
+        if desired == previous:
+            return
+        et = context.et if context else EventType.NO_LOSS
+        root_cause = context.root_cause if context else None
+        if desired is None:
+            del self._advertised[peer]
+            self.stats.withdrawals += 1
+            self.transport.send(
+                self.asn, peer, Withdrawal(root_cause=root_cause), tag=self.tag
+            )
+        else:
+            path, lock = desired
+            self._advertised[peer] = desired
+            self.stats.announcements += 1
+            self.transport.send(
+                self.asn,
+                peer,
+                self._make_announcement(path, et, lock, root_cause),
+                tag=self.tag,
+            )
+
+    def _make_announcement(
+        self,
+        path: ASPath,
+        et: EventType,
+        lock: bool,
+        root_cause: Optional[Link],
+    ) -> Announcement:
+        """Build the outgoing update (R-BGP overrides to attach RCI)."""
+        return Announcement(path=path, et=et, lock=lock, root_cause=root_cause)
+
+    # ------------------------------------------------------------------
+
+    def is_advertising(self, peer: ASN) -> bool:
+        """Whether we currently have a route advertised to a peer."""
+        return peer in self._advertised
+
+    @property
+    def forwarding_path(self) -> Optional[ASPath]:
+        """Current forwarding path excluding ourselves (trace format)."""
+        return self.best.path if self.best is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        best = self.best.path if self.best else None
+        return f"BGPSpeaker(asn={self.asn}, tag={self.tag!r}, best={best})"

@@ -1,0 +1,198 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage examples::
+
+    repro-stamp fig1                  # Phi CDF summary
+    repro-stamp fig2 --instances 10   # single link failure comparison
+    repro-stamp fig3a
+    repro-stamp fig3b
+    repro-stamp node-failure
+    repro-stamp deployment
+    repro-stamp overhead
+    repro-stamp delay
+    repro-stamp topology --out as_graph.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.figures import (
+    fig1_phi_cdf,
+    fig2_single_link_failure,
+    fig3a_two_links_distinct_as,
+    fig3b_two_links_same_as,
+    node_failure_comparison,
+    sec61_intelligent_selection,
+    sec63_convergence_delay,
+    sec63_message_overhead,
+    sec63_partial_deployment,
+)
+from repro.experiments.reporting import ascii_bar_chart, cdf_sparkline, format_table
+from repro.experiments.runner import ExperimentConfig, PROTOCOL_LABELS
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+from repro.topology.serialization import save_graph
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    topology = InternetTopologyConfig(
+        seed=args.seed,
+        n_tier1=args.tier1,
+        n_tier2=args.tier2,
+        n_tier3=args.tier3,
+        n_stub=args.stubs,
+    )
+    return ExperimentConfig(
+        seed=args.seed, topology=topology, n_instances=args.instances
+    )
+
+
+def _print_failure(title: str, data) -> None:
+    measured = {
+        PROTOCOL_LABELS[p]: v for p, v in data.mean_affected().items()
+    }
+    print(ascii_bar_chart(measured, title=title, unit=" ASes"))
+
+
+def cmd_fig1(args) -> int:
+    data = fig1_phi_cdf(_build_config(args))
+    print(
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ("mean Phi", "0.92", f"{data.mean_phi:.3f}"),
+                ("fraction <= 0.7", "< 0.10", f"{data.fraction_below_070:.3f}"),
+                ("fraction > 0.9", "> 0.75", f"{data.fraction_above_090:.3f}"),
+            ],
+        )
+    )
+    print(f"CDF: |{cdf_sparkline(data.cdf)}|")
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    _print_failure(
+        "Figure 2: single provider-link failure (mean affected ASes)",
+        fig2_single_link_failure(_build_config(args)),
+    )
+    return 0
+
+
+def cmd_fig3a(args) -> int:
+    _print_failure(
+        "Figure 3(a): two failed links at distinct ASes",
+        fig3a_two_links_distinct_as(_build_config(args)),
+    )
+    return 0
+
+
+def cmd_fig3b(args) -> int:
+    _print_failure(
+        "Figure 3(b): two failed links at the same AS",
+        fig3b_two_links_same_as(_build_config(args)),
+    )
+    return 0
+
+
+def cmd_node_failure(args) -> int:
+    _print_failure(
+        "Single node (AS) failure", node_failure_comparison(_build_config(args))
+    )
+    return 0
+
+
+def cmd_intelligent(args) -> int:
+    data = sec61_intelligent_selection(_build_config(args))
+    print(f"mean Phi, random selection     : {data.mean_phi_random:.3f}")
+    print(f"mean Phi, intelligent selection: {data.mean_phi_intelligent:.3f}")
+    return 0
+
+
+def cmd_deployment(args) -> int:
+    data = sec63_partial_deployment(_build_config(args))
+    print(f"tier-1-only deployment fraction: {data.tier1_only_fraction:.3f} "
+          f"(paper: ~0.75)")
+    print(f"full deployment fraction       : {data.full_deployment_fraction:.3f}")
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    data = sec63_message_overhead(_build_config(args))
+    print(f"initial convergence: BGP {data.mean_initial_updates_bgp:.0f} vs "
+          f"STAMP {data.mean_initial_updates_stamp:.0f} updates "
+          f"(ratio {data.initial_ratio:.2f}, paper < 2)")
+    print(f"failure episode    : BGP {data.mean_episode_updates_bgp:.0f} vs "
+          f"STAMP {data.mean_episode_updates_stamp:.0f} updates "
+          f"(ratio {data.episode_ratio:.2f})")
+    return 0
+
+
+def cmd_delay(args) -> int:
+    data = sec63_convergence_delay(_build_config(args))
+    print(f"control-plane quiescence: BGP {data.mean_seconds_bgp:.1f}s, "
+          f"STAMP {data.mean_seconds_stamp:.1f}s")
+    print(f"data-plane disruption   : BGP {data.mean_disruption_bgp:.2f}s, "
+          f"STAMP {data.mean_disruption_stamp:.2f}s")
+    return 0
+
+
+def cmd_topology(args) -> int:
+    config = InternetTopologyConfig(
+        seed=args.seed,
+        n_tier1=args.tier1,
+        n_tier2=args.tier2,
+        n_tier3=args.tier3,
+        n_stub=args.stubs,
+    )
+    graph, tiers = generate_internet_topology(config)
+    save_graph(graph, args.out)
+    print(f"wrote {graph} to {args.out} "
+          f"(tier-1 clique: {graph.tier1s()})")
+    return 0
+
+
+_COMMANDS = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig3a": cmd_fig3a,
+    "fig3b": cmd_fig3b,
+    "node-failure": cmd_node_failure,
+    "intelligent": cmd_intelligent,
+    "deployment": cmd_deployment,
+    "overhead": cmd_overhead,
+    "delay": cmd_delay,
+    "topology": cmd_topology,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stamp",
+        description="Reproduce the STAMP paper's experiments (ReArch'08).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--instances", type=int, default=10,
+        help="simulation instances per failure figure (paper: 100)",
+    )
+    parser.add_argument("--tier1", type=int, default=8, help="tier-1 ASes")
+    parser.add_argument("--tier2", type=int, default=48, help="tier-2 ASes")
+    parser.add_argument("--tier3", type=int, default=120, help="tier-3 ASes")
+    parser.add_argument("--stubs", type=int, default=440, help="stub ASes")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        command = sub.add_parser(name)
+        if name == "topology":
+            command.add_argument("--out", default="as_graph.txt")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

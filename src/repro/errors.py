@@ -1,0 +1,47 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TopologyError(ReproError):
+    """An AS graph is malformed or violates a structural assumption."""
+
+
+class CyclicHierarchyError(TopologyError):
+    """The customer-provider relationships contain a cycle.
+
+    The paper (and Gao-Rexford safety) assumes the provider hierarchy is
+    acyclic; topologies violating this are rejected at construction.
+    """
+
+
+class UnknownASError(TopologyError):
+    """An operation referenced an AS that is not in the graph."""
+
+
+class UnknownLinkError(TopologyError):
+    """An operation referenced a link that is not in the graph."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly."""
+
+
+class ConvergenceError(SimulationError):
+    """A protocol failed to converge within the configured horizon."""
+
+
+class ProtocolError(ReproError):
+    """A routing process violated one of its own invariants."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or generator was configured inconsistently."""
+
+
+class ParseError(ReproError):
+    """A serialized topology or routing table could not be parsed."""

@@ -1,0 +1,61 @@
+"""Experiment harness: scenarios, protocol runners, figure regeneration.
+
+Each figure/table of the paper's evaluation maps to one function in
+:mod:`repro.experiments.figures`; the pytest-benchmark targets under
+``benchmarks/`` call these and print the paper-shaped series.
+"""
+
+from repro.experiments.scenarios import (
+    Scenario,
+    single_provider_link_failure,
+    two_link_failures_distinct_as,
+    two_link_failures_same_as,
+    provider_node_failure,
+    link_recovery,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ProtocolRun,
+    run_scenario,
+    PROTOCOLS,
+)
+from repro.experiments.figures import (
+    Figure1Data,
+    FailureFigureData,
+    fig1_phi_cdf,
+    fig2_single_link_failure,
+    fig3a_two_links_distinct_as,
+    fig3b_two_links_same_as,
+    node_failure_comparison,
+    sec61_intelligent_selection,
+    sec63_partial_deployment,
+    sec63_message_overhead,
+    sec63_convergence_delay,
+)
+from repro.experiments.reporting import ascii_bar_chart, format_table
+
+__all__ = [
+    "Scenario",
+    "single_provider_link_failure",
+    "two_link_failures_distinct_as",
+    "two_link_failures_same_as",
+    "provider_node_failure",
+    "link_recovery",
+    "ExperimentConfig",
+    "ProtocolRun",
+    "run_scenario",
+    "PROTOCOLS",
+    "Figure1Data",
+    "FailureFigureData",
+    "fig1_phi_cdf",
+    "fig2_single_link_failure",
+    "fig3a_two_links_distinct_as",
+    "fig3b_two_links_same_as",
+    "node_failure_comparison",
+    "sec61_intelligent_selection",
+    "sec63_partial_deployment",
+    "sec63_message_overhead",
+    "sec63_convergence_delay",
+    "ascii_bar_chart",
+    "format_table",
+]

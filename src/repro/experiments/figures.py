@@ -1,0 +1,356 @@
+"""Regeneration of every figure and reported number in the paper.
+
+Each function returns a small dataclass with the series the paper
+plots, plus convenience summaries.  The ``benchmarks/`` tree exposes
+one pytest-benchmark target per figure that calls these and prints the
+paper-vs-measured comparison; EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.cdf import empirical_cdf, fraction_at_most, fraction_greater, mean
+from repro.analysis.deployment import (
+    full_deployment_fraction,
+    partial_deployment_fraction,
+)
+from repro.analysis.phi import (
+    PhiResult,
+    phi_distribution,
+    phi_with_intelligent_selection,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    PROTOCOLS,
+    ProtocolRun,
+    run_scenario,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    provider_node_failure,
+    single_provider_link_failure,
+    two_link_failures_distinct_as,
+    two_link_failures_same_as,
+)
+from repro.topology.generators import generate_internet_topology
+from repro.topology.graph import ASGraph
+
+ScenarioBuilder = Callable[[ASGraph, random.Random], Scenario]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — CDF of Φ
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Data:
+    """CDF of the disjoint-path probability Φ over destinations."""
+
+    results: List[PhiResult]
+    cdf: List[Tuple[float, float]]
+    mean_phi: float
+    fraction_below_070: float
+    fraction_above_090: float
+
+
+def fig1_phi_cdf(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> Figure1Data:
+    """Figure 1: Φ for all destinations and its CDF."""
+    config = config or ExperimentConfig()
+    if graph is None:
+        graph, _ = generate_internet_topology(config.topology)
+    results = phi_distribution(graph)
+    phis = [r.phi for r in results]
+    return Figure1Data(
+        results=results,
+        cdf=empirical_cdf(phis),
+        mean_phi=mean(phis),
+        fraction_below_070=fraction_at_most(phis, 0.7),
+        fraction_above_090=fraction_greater(phis, 0.9),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 2/3 — transient problems under failures
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FailureFigureData:
+    """Mean affected-AS counts per protocol for one failure class."""
+
+    scenario_kind: str
+    runs: Dict[str, List[ProtocolRun]] = field(default_factory=dict)
+
+    def mean_affected(self) -> Dict[str, float]:
+        """Protocol -> mean number of affected ASes (the bar heights)."""
+        return {
+            protocol: statistics.fmean(run.affected for run in runs)
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+    def mean_convergence_time(self) -> Dict[str, float]:
+        """Protocol -> mean simulated convergence seconds."""
+        return {
+            protocol: statistics.fmean(run.convergence_time for run in runs)
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+    def mean_updates(self) -> Dict[str, float]:
+        """Protocol -> mean update messages during the episode."""
+        return {
+            protocol: statistics.fmean(run.updates for run in runs)
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+    def mean_initial_updates(self) -> Dict[str, float]:
+        """Protocol -> mean updates to reach initial convergence."""
+        return {
+            protocol: statistics.fmean(run.initial_updates for run in runs)
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+    def mean_disruption(self) -> Dict[str, float]:
+        """Protocol -> mean data-plane disruption seconds."""
+        return {
+            protocol: statistics.fmean(run.disruption_duration for run in runs)
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+
+def _failure_comparison(
+    builder: ScenarioBuilder,
+    kind: str,
+    config: Optional[ExperimentConfig],
+    graph: Optional[ASGraph],
+) -> FailureFigureData:
+    config = config or ExperimentConfig()
+    if graph is None:
+        graph, _ = generate_internet_topology(config.topology)
+    data = FailureFigureData(scenario_kind=kind)
+    for protocol in config.protocols:
+        data.runs[protocol] = []
+    for instance in range(config.n_instances):
+        # String seeds hash deterministically (unlike tuple hashes).
+        scenario_rng = random.Random(f"{config.seed}:{kind}:{instance}")
+        scenario = builder(graph, scenario_rng)
+        for protocol in config.protocols:
+            run = run_scenario(
+                graph, scenario, protocol, seed=config.seed * 1_000 + instance
+            )
+            data.runs[protocol].append(run)
+    return data
+
+
+def fig2_single_link_failure(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> FailureFigureData:
+    """Figure 2: single provider-link failure at a multi-homed AS."""
+    return _failure_comparison(
+        single_provider_link_failure, "fig2-single-link", config, graph
+    )
+
+
+def fig3a_two_links_distinct_as(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> FailureFigureData:
+    """Figure 3(a): two simultaneous link failures at distinct ASes."""
+    return _failure_comparison(
+        two_link_failures_distinct_as, "fig3a-distinct-as", config, graph
+    )
+
+
+def fig3b_two_links_same_as(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> FailureFigureData:
+    """Figure 3(b): two simultaneous link failures at the same AS."""
+    return _failure_comparison(
+        two_link_failures_same_as, "fig3b-same-as", config, graph
+    )
+
+
+def node_failure_comparison(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> FailureFigureData:
+    """Section 6.2.2 text: single AS (node) failure comparison."""
+    return _failure_comparison(
+        provider_node_failure, "node-failure", config, graph
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 6.1 / 6.3 — reported numbers
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IntelligentSelectionData:
+    """Random vs intelligent locked-blue-provider selection."""
+
+    mean_phi_random: float
+    mean_phi_intelligent: float
+
+
+def sec61_intelligent_selection(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> IntelligentSelectionData:
+    """Section 6.1: intelligent origin selection (92% -> 97%)."""
+    config = config or ExperimentConfig()
+    if graph is None:
+        graph, _ = generate_internet_topology(config.topology)
+    random_results = phi_distribution(graph)
+    intelligent = [
+        phi_with_intelligent_selection(graph, dest) for dest in graph.ases
+    ]
+    return IntelligentSelectionData(
+        mean_phi_random=mean([r.phi for r in random_results]),
+        mean_phi_intelligent=mean([r.phi for r in intelligent]),
+    )
+
+
+@dataclass
+class PartialDeploymentData:
+    """Tier-1-only deployment vs full deployment."""
+
+    tier1_only_fraction: float
+    full_deployment_fraction: float
+
+
+def sec63_partial_deployment(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+    trials: int = 16,
+) -> PartialDeploymentData:
+    """Section 6.3: ~75% of ASes keep disjoint paths at tier-1-only."""
+    config = config or ExperimentConfig()
+    if graph is None:
+        graph, _ = generate_internet_topology(config.topology)
+    return PartialDeploymentData(
+        tier1_only_fraction=partial_deployment_fraction(
+            graph, trials=trials, seed=config.seed
+        ),
+        full_deployment_fraction=full_deployment_fraction(graph),
+    )
+
+
+@dataclass
+class OverheadData:
+    """STAMP vs BGP update-message overhead.
+
+    The paper's "less than twice" claim is about running two parallel
+    processes; the clean analogue is the initial-convergence ratio.
+    The post-event (episode) ratio is also reported: when a failure
+    hits the locked blue chain the entire blue tree rebuilds, which a
+    single-process BGP has no analogue for.
+    """
+
+    mean_initial_updates_bgp: float
+    mean_initial_updates_stamp: float
+    mean_episode_updates_bgp: float
+    mean_episode_updates_stamp: float
+
+    @property
+    def initial_ratio(self) -> float:
+        """STAMP/BGP update ratio for initial convergence (paper: <2)."""
+        if self.mean_initial_updates_bgp == 0:
+            return 0.0
+        return self.mean_initial_updates_stamp / self.mean_initial_updates_bgp
+
+    @property
+    def episode_ratio(self) -> float:
+        """STAMP/BGP update ratio for the failure episode."""
+        if self.mean_episode_updates_bgp == 0:
+            return 0.0
+        return self.mean_episode_updates_stamp / self.mean_episode_updates_bgp
+
+
+def sec63_message_overhead(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> OverheadData:
+    """Section 6.3: two processes cost less than 2x the updates."""
+    config = config or ExperimentConfig()
+    restricted = ExperimentConfig(
+        seed=config.seed,
+        topology=config.topology,
+        n_instances=config.n_instances,
+        protocols=("bgp", "stamp"),
+    )
+    data = _failure_comparison(
+        single_provider_link_failure, "sec63-overhead", restricted, graph
+    )
+    initial = data.mean_initial_updates()
+    episode = data.mean_updates()
+    return OverheadData(
+        mean_initial_updates_bgp=initial.get("bgp", 0.0),
+        mean_initial_updates_stamp=initial.get("stamp", 0.0),
+        mean_episode_updates_bgp=episode.get("bgp", 0.0),
+        mean_episode_updates_stamp=episode.get("stamp", 0.0),
+    )
+
+
+@dataclass
+class ConvergenceDelayData:
+    """BGP vs STAMP convergence after the same events.
+
+    ``mean_seconds_*`` is control-plane quiescence; ``disruption_*`` is
+    the data-plane view (how long packets were actually lost), which is
+    the convergence users experience and the sense in which STAMP is
+    faster.
+    """
+
+    mean_seconds_bgp: float
+    mean_seconds_stamp: float
+    mean_disruption_bgp: float
+    mean_disruption_stamp: float
+
+
+def sec63_convergence_delay(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> ConvergenceDelayData:
+    """Section 6.3: STAMP converges no slower than BGP (data plane)."""
+    config = config or ExperimentConfig()
+    restricted = ExperimentConfig(
+        seed=config.seed,
+        topology=config.topology,
+        n_instances=config.n_instances,
+        protocols=("bgp", "stamp"),
+    )
+    data = _failure_comparison(
+        single_provider_link_failure, "sec63-delay", restricted, graph
+    )
+    times = data.mean_convergence_time()
+    disruption = data.mean_disruption()
+    return ConvergenceDelayData(
+        mean_seconds_bgp=times.get("bgp", 0.0),
+        mean_seconds_stamp=times.get("stamp", 0.0),
+        mean_disruption_bgp=disruption.get("bgp", 0.0),
+        mean_disruption_stamp=disruption.get("stamp", 0.0),
+    )

@@ -1,0 +1,62 @@
+"""Plain-text rendering of figure data (tables and bar charts)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def ascii_bar_chart(
+    values: Dict[str, float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labeled value."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a header separator."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    out: List[str] = []
+    for index, row in enumerate(cells):
+        out.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+def cdf_sparkline(points: Sequence[tuple], *, buckets: int = 20) -> str:
+    """Compact one-line rendering of a CDF for terminal output."""
+    if not points:
+        return "(empty)"
+    glyphs = " .:-=+*#%@"
+    values = [fraction for _, fraction in points]
+    out = []
+    for bucket in range(buckets):
+        index = min(
+            len(values) - 1, round(bucket * (len(values) - 1) / max(1, buckets - 1))
+        )
+        level = min(len(glyphs) - 1, int(values[index] * (len(glyphs) - 1)))
+        out.append(glyphs[level])
+    return "".join(out)

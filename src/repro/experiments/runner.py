@@ -1,0 +1,173 @@
+"""Run one failure scenario under one protocol and count the damage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.transient import TransientReport, analyze_transient_problems
+from repro.bgp.network import BGPNetwork, NetworkConfig
+from repro.errors import ConfigurationError
+from repro.forwarding.bgp_plane import BGPDataPlane
+from repro.forwarding.rbgp_plane import PRIMARY, RBGPDataPlane
+from repro.forwarding.stamp_plane import STAMPDataPlane
+from repro.forwarding.walk import WalkClassifier
+from repro.rbgp.network import RBGPNetwork
+from repro.experiments.scenarios import Scenario
+from repro.stamp.network import STAMPConfig, STAMPNetwork
+from repro.topology.generators import InternetTopologyConfig
+from repro.topology.graph import ASGraph
+from repro.types import normalize_link
+
+#: Protocols compared in Figures 2-3, in the paper's display order.
+PROTOCOLS: Tuple[str, ...] = ("bgp", "rbgp-norci", "rbgp", "stamp")
+
+#: Human-readable labels matching the paper's legends.
+PROTOCOL_LABELS: Dict[str, str] = {
+    "bgp": "BGP",
+    "rbgp-norci": "R-BGP without RCI",
+    "rbgp": "R-BGP",
+    "stamp": "STAMP",
+    "stamp-intelligent": "STAMP (intelligent blue provider)",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and seeding of a figure-reproduction experiment.
+
+    The paper simulates the full measured AS graph (~27k ASes) over 100
+    instances; defaults here are laptop-sized (see DESIGN.md section 4
+    on the scale substitution) and every knob is adjustable.
+    """
+
+    seed: int = 0
+    topology: InternetTopologyConfig = field(
+        default_factory=InternetTopologyConfig
+    )
+    n_instances: int = 20
+    protocols: Tuple[str, ...] = PROTOCOLS
+
+
+@dataclass
+class ProtocolRun:
+    """Outcome of one (scenario, protocol) simulation."""
+
+    protocol: str
+    scenario: Scenario
+    report: TransientReport
+    convergence_time: float
+    announcements: int
+    withdrawals: int
+    #: Updates needed to reach the *initial* converged state.
+    initial_updates: int = 0
+    #: Simulated seconds of initial convergence.
+    initial_convergence_time: float = 0.0
+
+    @property
+    def affected(self) -> int:
+        """ASes that experienced transient problems."""
+        return self.report.affected_count
+
+    @property
+    def updates(self) -> int:
+        """Update messages sent during the post-event episode."""
+        return self.announcements + self.withdrawals
+
+    @property
+    def disruption_duration(self) -> float:
+        """Seconds the data plane kept dropping packets (see report)."""
+        return self.report.disruption_duration
+
+
+def build_network(
+    protocol: str,
+    graph: ASGraph,
+    destination,
+    *,
+    seed: int = 0,
+    network_config: Optional[NetworkConfig] = None,
+) -> Tuple[object, WalkClassifier]:
+    """Instantiate the network and matching data plane for a protocol."""
+    if protocol == "bgp":
+        config = network_config or NetworkConfig(seed=seed)
+        return BGPNetwork(graph, destination, config), BGPDataPlane(destination)
+    if protocol == "rbgp":
+        config = network_config or NetworkConfig(seed=seed)
+        return (
+            RBGPNetwork(graph, destination, config, rci=True),
+            RBGPDataPlane(destination, rci=True, graph=graph),
+        )
+    if protocol == "rbgp-norci":
+        config = network_config or NetworkConfig(seed=seed)
+        return (
+            RBGPNetwork(graph, destination, config, rci=False),
+            RBGPDataPlane(destination, rci=False, graph=graph),
+        )
+    if protocol in ("stamp", "stamp-intelligent"):
+        if isinstance(network_config, STAMPConfig):
+            config = network_config
+        else:
+            config = STAMPConfig(
+                seed=seed,
+                intelligent_selection=(protocol == "stamp-intelligent"),
+            )
+        return STAMPNetwork(graph, destination, config), STAMPDataPlane(destination)
+    raise ConfigurationError(f"unknown protocol {protocol!r}")
+
+
+def run_scenario(
+    graph: ASGraph,
+    scenario: Scenario,
+    protocol: str,
+    *,
+    seed: int = 0,
+    network_config: Optional[NetworkConfig] = None,
+) -> ProtocolRun:
+    """Simulate one scenario under one protocol; analyze the trace."""
+    network, plane = build_network(
+        protocol,
+        graph,
+        scenario.destination,
+        seed=seed,
+        network_config=network_config,
+    )
+    # Links that will *recover* during the event start out failed.
+    for a, b in scenario.restored_links:
+        network.transport.fail_link(a, b)
+    initial_convergence_time = network.start()
+
+    initial_state = network.forwarding_state()
+    announcements_before = network.stats.announcements
+    withdrawals_before = network.stats.withdrawals
+
+    for a, b in scenario.failed_links:
+        network.fail_link(a, b)
+    for asn in scenario.failed_ases:
+        network.fail_as(asn)
+    for a, b in scenario.restored_links:
+        network.restore_link(a, b)
+    convergence_time = network.run_to_convergence()
+
+    failed_links = frozenset(
+        normalize_link(a, b) for a, b in scenario.failed_links
+    )
+    failed_ases = frozenset(scenario.failed_ases)
+    report = analyze_transient_problems(
+        network.trace,
+        initial_state,
+        plane,
+        graph.ases,
+        failed_links=failed_links,
+        failed_ases=failed_ases,
+    )
+    return ProtocolRun(
+        protocol=protocol,
+        scenario=scenario,
+        report=report,
+        convergence_time=convergence_time,
+        announcements=network.stats.announcements - announcements_before,
+        withdrawals=network.stats.withdrawals - withdrawals_before,
+        initial_updates=announcements_before + withdrawals_before,
+        initial_convergence_time=initial_convergence_time,
+    )

@@ -1,0 +1,164 @@
+"""Failure scenario builders matching the paper's evaluation setups.
+
+All builders draw from a seeded RNG and return a :class:`Scenario`
+describing the destination and the resources that fail.  The paper's
+scenarios (section 6.2):
+
+* Figure 2 — a multi-homed destination fails one of its provider links;
+* Figure 3(a) — additionally, a random *indirect* provider link
+  (multi-hop away) fails simultaneously;
+* Figure 3(b) — the destination fails a provider link and that same
+  provider fails one of its own provider links;
+* text — a single AS (node) failure;
+* Lemma 3.1 sanity — a link recovery (route addition event).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.topology.graph import ASGraph
+from repro.types import ASN, Link
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One failure scenario for one destination prefix."""
+
+    destination: ASN
+    failed_links: Tuple[Link, ...] = ()
+    failed_ases: Tuple[ASN, ...] = ()
+    restored_links: Tuple[Link, ...] = ()
+    description: str = ""
+
+
+def _multihomed_candidates(graph: ASGraph) -> List[ASN]:
+    return [asn for asn in graph.ases if graph.is_multihomed(asn)]
+
+
+def _pick_multihomed(graph: ASGraph, rng: random.Random) -> ASN:
+    candidates = _multihomed_candidates(graph)
+    if not candidates:
+        raise ConfigurationError("graph has no multi-homed AS")
+    return rng.choice(candidates)
+
+
+def single_provider_link_failure(graph: ASGraph, rng: random.Random) -> Scenario:
+    """Figure 2: a multi-homed destination loses one provider link."""
+    destination = _pick_multihomed(graph, rng)
+    provider = rng.choice(graph.providers(destination))
+    return Scenario(
+        destination=destination,
+        failed_links=((destination, provider),),
+        description=f"single provider-link failure {destination}-{provider}",
+    )
+
+
+def _uphill_cone(graph: ASGraph, start: ASN) -> Set[ASN]:
+    """All direct and indirect providers of an AS (excluding itself)."""
+    cone: Set[ASN] = set()
+    stack = list(graph.providers(start))
+    while stack:
+        node = stack.pop()
+        if node in cone:
+            continue
+        cone.add(node)
+        stack.extend(graph.providers(node))
+    return cone
+
+
+def two_link_failures_distinct_as(
+    graph: ASGraph, rng: random.Random
+) -> Scenario:
+    """Figure 3(a): provider link + an indirect provider link elsewhere.
+
+    The second failed link is a c2p link in the destination's uphill
+    cone that shares no endpoint with the first failed link and is not
+    adjacent to the destination.
+    """
+    destination = _pick_multihomed(graph, rng)
+    provider = rng.choice(graph.providers(destination))
+    first = (destination, provider)
+    # "Multi-hop away": the second link must not touch the destination
+    # or any of its direct providers (a provider-adjacent second
+    # failure is Figure 3(b)'s same-AS case, not this one).
+    nearby = {destination, *graph.providers(destination)}
+    cone = _uphill_cone(graph, destination)
+    candidates = [
+        (customer, upper)
+        for customer in sorted(cone)
+        for upper in graph.providers(customer)
+        if customer not in nearby and upper not in nearby
+    ]
+    if not candidates:
+        # Degenerate graphs: fall back to a single failure.
+        return Scenario(
+            destination=destination,
+            failed_links=(first,),
+            description="two-link (distinct AS) degenerated to single",
+        )
+    second = rng.choice(candidates)
+    return Scenario(
+        destination=destination,
+        failed_links=(first, second),
+        description=(
+            f"two links at distinct ASes: {first[0]}-{first[1]} and "
+            f"{second[0]}-{second[1]}"
+        ),
+    )
+
+
+def two_link_failures_same_as(graph: ASGraph, rng: random.Random) -> Scenario:
+    """Figure 3(b): destination-provider link + that provider's own
+    provider link — both failures touch the same AS."""
+    destination = _pick_multihomed(graph, rng)
+    providers_with_uplinks = [
+        p for p in graph.providers(destination) if graph.providers(p)
+    ]
+    if not providers_with_uplinks:
+        provider = rng.choice(graph.providers(destination))
+        return Scenario(
+            destination=destination,
+            failed_links=((destination, provider),),
+            description="two-link (same AS) degenerated to single",
+        )
+    provider = rng.choice(providers_with_uplinks)
+    upper = rng.choice(graph.providers(provider))
+    return Scenario(
+        destination=destination,
+        failed_links=((destination, provider), (provider, upper)),
+        description=(
+            f"two links at the same AS {provider}: "
+            f"{destination}-{provider} and {provider}-{upper}"
+        ),
+    )
+
+
+def provider_node_failure(graph: ASGraph, rng: random.Random) -> Scenario:
+    """Section 6.2.2 text: one of the destination's providers fails
+    entirely (withdraws from all neighbors)."""
+    destination = _pick_multihomed(graph, rng)
+    provider = rng.choice(graph.providers(destination))
+    return Scenario(
+        destination=destination,
+        failed_ases=(provider,),
+        description=f"node failure of provider {provider}",
+    )
+
+
+def link_recovery(graph: ASGraph, rng: random.Random) -> Scenario:
+    """Route addition event (Lemma 3.1): a provider link comes back.
+
+    The scenario lists the link under ``restored_links``; runners fail
+    it before initial convergence and restore it as the event.
+    """
+    destination = _pick_multihomed(graph, rng)
+    provider = rng.choice(graph.providers(destination))
+    return Scenario(
+        destination=destination,
+        restored_links=((destination, provider),),
+        description=f"recovery of provider link {destination}-{provider}",
+    )

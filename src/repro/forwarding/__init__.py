@@ -1,0 +1,20 @@
+"""Data-plane modeling: packet walks and transient-problem detection.
+
+Given a snapshot of every AS's control-plane state, these modules walk
+the data plane from each AS toward the destination and classify the
+outcome as delivered, looped, or blackholed — the paper's definition of
+a transient routing problem (section 6.2).
+"""
+
+from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.forwarding.bgp_plane import BGPDataPlane
+from repro.forwarding.rbgp_plane import RBGPDataPlane
+from repro.forwarding.stamp_plane import STAMPDataPlane
+
+__all__ = [
+    "WalkClassifier",
+    "classify_functional_graph",
+    "BGPDataPlane",
+    "RBGPDataPlane",
+    "STAMPDataPlane",
+]

@@ -1,0 +1,48 @@
+"""Data plane of plain BGP: hop-by-hop best-route forwarding.
+
+The snapshot state maps ``(asn, None)`` to the AS's current best path
+(announcer-first, i.e. ``path[0]`` is the next hop) or ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional
+
+from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.types import ASN, Link, Outcome, normalize_link
+
+
+class BGPDataPlane(WalkClassifier):
+    """Walks packets along each AS's current best next hop."""
+
+    def __init__(self, destination: ASN, trace_key: Hashable = None) -> None:
+        super().__init__(destination)
+        self.trace_key = trace_key
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        destination = self.destination
+        key = self.trace_key
+
+        def successor(asn: ASN) -> Optional[ASN]:
+            path = state.get((asn, key))
+            if not path:
+                return None
+            next_hop = path[0]
+            if next_hop in failed_ases:
+                return None
+            if normalize_link(asn, next_hop) in failed_links:
+                return None
+            return next_hop
+
+        def delivered(asn: ASN) -> bool:
+            return asn == destination
+
+        sources = [asn for asn in ases if asn not in failed_ases]
+        return classify_functional_graph(sources, successor, delivered)

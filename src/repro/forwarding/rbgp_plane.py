@@ -1,0 +1,141 @@
+"""Data plane of R-BGP: primary forwarding plus pinned failover paths.
+
+Snapshot state:
+
+* ``(asn, 'primary')`` — current best path (announcer-first) or ``None``;
+* ``(asn, 'failover')`` — tuple of ``(upstream, path)`` failover entries
+  the AS has received (each ``path`` starts at ``upstream`` and was that
+  upstream's most disjoint alternate).
+
+Walk semantics (AS-level abstraction of R-BGP's virtual interfaces):
+packets follow primaries; an AS whose primary is unusable diverts onto
+one received failover path, which is then followed *pinned* hop by hop
+(intermediate ASes forward along the virtual interface, not their own
+tables).  A packet may divert only once; a pinned hop that crosses a
+failed link or AS drops the packet.
+
+The RCI distinction (see the R-BGP paper's argument for why root cause
+information is needed at all):
+
+* **with RCI** any AS that lost its route may divert, and it knows
+  which failover entries are stale (they traverse the root-cause link)
+  so it skips them;
+* **without RCI** an AS can only divert safely when it *locally*
+  detected the failure (its own link or neighbor died) — a remote loss
+  is indistinguishable from a withdrawal of the failover path itself,
+  and R-BGP's loop-freedom argument collapses; moreover the pick is
+  oblivious, so a stale entry pins a broken path and the packet drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.types import ASN, ASPath, Link, Outcome, normalize_link
+
+PRIMARY = "primary"
+FAILOVER = "failover"
+
+#: Walk states: plain AS for primary forwarding, or a pinned position
+#: ``('pin', path, index)`` while riding a failover path.
+_PinState = Tuple[str, ASPath, int]
+
+
+class RBGPDataPlane(WalkClassifier):
+    """Walks packets under R-BGP forwarding (with or without RCI).
+
+    ``graph`` is needed for the no-RCI variant to decide which ASes
+    locally detected a failure (endpoint of a failed link or neighbor
+    of a failed AS).
+    """
+
+    def __init__(self, destination: ASN, *, rci: bool, graph=None) -> None:
+        super().__init__(destination)
+        self.rci = rci
+        self.graph = graph
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        destination = self.destination
+        rci = self.rci
+
+        local_detectors = set()
+        if not rci:
+            for a, b in failed_links:
+                local_detectors.add(a)
+                local_detectors.add(b)
+            if self.graph is not None:
+                for asn in failed_ases:
+                    if asn in self.graph:
+                        local_detectors.update(self.graph.neighbors(asn))
+
+        def link_ok(a: ASN, b: ASN) -> bool:
+            return (
+                b not in failed_ases
+                and a not in failed_ases
+                and normalize_link(a, b) not in failed_links
+            )
+
+        def path_intact(start: ASN, path: ASPath) -> bool:
+            hops = (start,) + path
+            return all(link_ok(u, v) for u, v in zip(hops, hops[1:]))
+
+        def pick_failover(asn: ASN) -> Optional[ASPath]:
+            # Pinned (virtual-interface) forwarding may legitimately
+            # pass back through the diverting AS itself — the bounce is
+            # part of R-BGP's design — so entries are not filtered on
+            # that.
+            entries = state.get((asn, FAILOVER)) or ()
+            for _, path in entries:
+                if rci:
+                    # RCI: the AS knows which entries are broken.
+                    if path_intact(asn, path):
+                        return path
+                else:
+                    # No RCI: pick the first entry obliviously.
+                    return path
+            return None
+
+        def successor(walk_state) -> Optional[object]:
+            if isinstance(walk_state, tuple) and walk_state[0] == "pin":
+                _, path, index = walk_state
+                return _advance_pin(path, index)
+            asn = walk_state
+            path = state.get((asn, PRIMARY))
+            if path and link_ok(asn, path[0]):
+                return path[0]
+            if not rci and asn not in local_detectors:
+                # Without root cause information a remotely-caused loss
+                # cannot safely trigger failover forwarding.
+                return None
+            # Primary unusable: divert once onto a received failover.
+            failover = pick_failover(asn)
+            if failover is None:
+                return None
+            if not link_ok(asn, failover[0]):
+                return None
+            return ("pin", (asn,) + failover, 1)
+
+        def _advance_pin(path: ASPath, index: int):
+            current, nxt = path[index - 1], path[index]
+            if not link_ok(current, nxt):
+                return None
+            if nxt == destination:
+                return nxt  # delivered
+            if index + 1 >= len(path):
+                return None  # pinned path ended off-destination
+            return ("pin", path, index + 1)
+
+        def delivered(walk_state) -> bool:
+            return walk_state == destination
+
+        sources = [asn for asn in ases if asn not in failed_ases]
+        raw = classify_functional_graph(sources, successor, delivered)
+        return {asn: raw[asn] for asn in sources}

@@ -1,0 +1,111 @@
+"""Data plane of STAMP: color-tagged packets with one allowed switch.
+
+Snapshot state (per the STAMP network's trace):
+
+* ``(asn, Color.RED)`` / ``(asn, Color.BLUE)`` — current best path of
+  each color process (announcer-first) or ``None``;
+* ``(asn, ('unstable', color))`` — whether that process is currently
+  flagged unstable (lost a route / received ET=0 since the event).
+
+Forwarding rules (paper section 5):
+
+* the source assigns the initial color: its stable active process,
+  preferring blue, falling back to any process with a route;
+* a transit AS forwards a color-c packet on its color-c route when that
+  route is up and stable;
+* if the color-c route is unstable or unusable, the AS switches the
+  packet to the other color — at most once per packet (loop guard from
+  [12]);
+* an already-switched packet must follow its color or be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.types import ASN, Color, Link, Outcome, normalize_link
+
+#: Walk state: (AS, packet color, already switched?).
+_WalkState = Tuple[ASN, Color, bool]
+
+
+def unstable_key(color: Color) -> Tuple[str, Color]:
+    """Trace key of a color process's instability flag."""
+    return ("unstable", color)
+
+
+class STAMPDataPlane(WalkClassifier):
+    """Walks color-carrying packets with the switch-once rule."""
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        destination = self.destination
+
+        def link_ok(a: ASN, b: ASN) -> bool:
+            return (
+                b not in failed_ases
+                and a not in failed_ases
+                and normalize_link(a, b) not in failed_links
+            )
+
+        def route(asn: ASN, color: Color):
+            return state.get((asn, color))
+
+        def usable(asn: ASN, color: Color) -> bool:
+            path = route(asn, color)
+            return bool(path) and link_ok(asn, path[0])
+
+        def stable(asn: ASN, color: Color) -> bool:
+            return not state.get((asn, unstable_key(color)), False)
+
+        def initial_color(asn: ASN) -> Optional[Color]:
+            for color in (Color.BLUE, Color.RED):
+                if usable(asn, color) and stable(asn, color):
+                    return color
+            for color in (Color.BLUE, Color.RED):
+                if usable(asn, color):
+                    return color
+            return None
+
+        def successor(walk_state) -> Optional[_WalkState]:
+            asn, color, switched = walk_state
+            if usable(asn, color) and stable(asn, color):
+                return (route(asn, color)[0], color, switched)
+            if not switched:
+                other = color.other
+                if usable(asn, other):
+                    return (route(asn, other)[0], other, True)
+            if usable(asn, color):
+                # No stable alternative: ride the unstable same-color
+                # route rather than drop.
+                return (route(asn, color)[0], color, switched)
+            return None
+
+        def delivered(walk_state) -> bool:
+            return walk_state[0] == destination
+
+        outcomes: Dict[ASN, Outcome] = {}
+        memo: Dict[_WalkState, Outcome] = {}
+        for asn in ases:
+            if asn in failed_ases:
+                continue
+            if asn == destination:
+                outcomes[asn] = Outcome.DELIVERED
+                continue
+            color = initial_color(asn)
+            if color is None:
+                outcomes[asn] = Outcome.BLACKHOLE
+                continue
+            start: _WalkState = (asn, color, False)
+            classify_functional_graph(
+                [start], successor, delivered, memo=memo
+            )
+            outcomes[asn] = memo[start]
+        return outcomes

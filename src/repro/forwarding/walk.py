@@ -1,0 +1,93 @@
+"""Generic data-plane walk classification.
+
+A data-plane snapshot induces a deterministic successor function on
+walk states (for BGP a state is just the current AS; for STAMP it is
+``(AS, packet color, switched?)``; for R-BGP it includes pinned
+failover paths).  Classifying every AS's packet fate then reduces to
+outcome propagation over a functional graph: a walk is DELIVERED if it
+reaches the destination, BLACKHOLE if it reaches a state with no
+successor, and LOOP if it revisits a state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, TypeVar
+
+from repro.types import Outcome
+
+State = TypeVar("State", bound=Hashable)
+
+#: Successor function: next walk state, or ``None`` when the packet is
+#: dropped (blackhole).
+Successor = Callable[[Hashable], Optional[Hashable]]
+#: Terminal predicate: ``True`` when the packet has been delivered.
+Delivered = Callable[[Hashable], bool]
+
+
+def classify_functional_graph(
+    starts: Iterable[Hashable],
+    successor: Successor,
+    delivered: Delivered,
+    *,
+    memo: Optional[Dict[Hashable, Outcome]] = None,
+) -> Dict[Hashable, Outcome]:
+    """Classify the walk outcome from each start state.
+
+    Shares ``memo`` across calls for amortization within one snapshot.
+    Runs iteratively (no recursion limits) with on-path cycle detection:
+    any state that reaches a cycle is classified LOOP.
+    """
+    outcomes: Dict[Hashable, Outcome] = memo if memo is not None else {}
+    for start in starts:
+        if start in outcomes:
+            continue
+        path: list = []
+        on_path: Dict[Hashable, int] = {}
+        state = start
+        result: Outcome
+        while True:
+            if state in outcomes:
+                result = outcomes[state]
+                break
+            if state in on_path:
+                # Found a new cycle: everything on it (and leading into
+                # it) loops.
+                result = Outcome.LOOP
+                break
+            if delivered(state):
+                outcomes[state] = Outcome.DELIVERED
+                result = Outcome.DELIVERED
+                break
+            on_path[state] = len(path)
+            path.append(state)
+            nxt = successor(state)
+            if nxt is None:
+                result = Outcome.BLACKHOLE
+                break
+            state = nxt
+        for visited in path:
+            outcomes[visited] = result
+    return outcomes
+
+
+class WalkClassifier:
+    """Base class for protocol-specific data planes.
+
+    Subclasses define how a control-plane snapshot (the trace's state
+    dict) maps to successor/delivered functions; ``classify`` then
+    evaluates the packet fate of each requested AS.
+    """
+
+    def __init__(self, destination) -> None:
+        self.destination = destination
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable,
+        *,
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+    ) -> Dict[Hashable, Outcome]:
+        """Outcome per source AS under the given snapshot."""
+        raise NotImplementedError

@@ -1,0 +1,35 @@
+"""R-BGP failover-path messages.
+
+Failover paths travel on the same session as regular updates (FIFO with
+them), but only toward the advertiser's current primary next hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import ASN, ASPath
+
+
+@dataclass(frozen=True)
+class FailoverAnnouncement:
+    """Advertise the sender's most disjoint alternate path.
+
+    ``path`` is announcer-first, like a regular announcement.
+    """
+
+    path: ASPath
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("failover path must be non-empty")
+
+    @property
+    def sender(self) -> ASN:
+        """The advertising AS."""
+        return self.path[0]
+
+
+@dataclass(frozen=True)
+class FailoverWithdrawal:
+    """Retract a previously advertised failover path."""

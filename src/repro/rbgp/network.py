@@ -1,0 +1,50 @@
+"""Network of R-BGP speakers."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.bgp.network import BGPNetwork, NetworkConfig
+from repro.bgp.speaker import SpeakerConfig
+from repro.forwarding.rbgp_plane import FAILOVER, PRIMARY
+from repro.rbgp.speaker import RBGPSpeaker
+from repro.topology.graph import ASGraph
+from repro.types import ASN
+
+
+class RBGPNetwork(BGPNetwork):
+    """R-BGP over an AS graph; ``rci=False`` gives the no-RCI baseline."""
+
+    TRACE_KEY: Hashable = PRIMARY
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        destination: ASN,
+        config: Optional[NetworkConfig] = None,
+        *,
+        rci: bool = True,
+    ) -> None:
+        self.rci = rci
+        super().__init__(graph, destination, config)
+
+    def _make_speaker(self, asn: ASN, speaker_config: SpeakerConfig) -> RBGPSpeaker:
+        return RBGPSpeaker(
+            asn,
+            self.graph,
+            self.engine,
+            self.transport,
+            config=speaker_config,
+            tag=self.TRACE_KEY,
+            trace=self.trace,
+            stats=self.stats,
+            rci=self.rci,
+        )
+
+    def forwarding_state(self) -> Dict[Tuple[ASN, Hashable], object]:
+        """FIB paths plus failover RIBs, in the trace key space."""
+        state: Dict[Tuple[ASN, Hashable], object] = {}
+        for asn, speaker in self.speakers.items():
+            state[(asn, PRIMARY)] = speaker.data_plane_path
+            state[(asn, FAILOVER)] = speaker.failover_state()
+        return state

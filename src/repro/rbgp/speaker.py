@@ -1,0 +1,251 @@
+"""R-BGP routing process: plain BGP plus failover paths and RCI."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.bgp.decision import route_sort_key
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.ribs import Route
+from repro.bgp.speaker import BGPSpeaker
+from repro.forwarding.rbgp_plane import FAILOVER, PRIMARY
+from repro.rbgp.messages import FailoverAnnouncement, FailoverWithdrawal
+from repro.types import ASN, ASPath, Link, normalize_link
+
+
+def path_links(full_path: ASPath) -> frozenset:
+    """Normalized set of links along a full (self-first) path."""
+    return frozenset(
+        normalize_link(u, v) for u, v in zip(full_path, full_path[1:])
+    )
+
+
+def path_contains_link(full_path: ASPath, link: Link) -> bool:
+    """Whether a full path traverses a given (normalized) link."""
+    return link in path_links(full_path)
+
+
+class RBGPSpeaker(BGPSpeaker):
+    """One AS's R-BGP process.
+
+    ``rci=True`` is full R-BGP: updates carry root-cause links and the
+    speaker purges every Adj-RIB-In/failover path through a root-caused
+    link before re-running the decision.  ``rci=False`` is the paper's
+    "R-BGP without RCI" baseline: failover paths are still advertised
+    and used, but stale paths die only through normal path exploration.
+    """
+
+    def __init__(self, *args, rci: bool = True, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.rci = rci
+        #: Links learned (via RCI) to be down; paths through them are
+        #: rejected until the session state changes again.
+        self.known_bad_links: set = set()
+        #: Data-plane entry.  With RCI this retains the last known path
+        #: when the control plane withdraws without replacement
+        #: (make-before-break): packets keep flowing toward the AS
+        #: adjacent to the failure, which diverts them onto a failover
+        #: path.  RCI is what makes this retention safe — the root
+        #: cause identifies exactly which stale state to trust.
+        self.fib_path: Optional[ASPath] = None
+        #: Failover paths received from upstream neighbors.
+        self.failover_rib: Dict[ASN, ASPath] = {}
+        #: (target neighbor, advertised path) of our last failover ad.
+        self._failover_sent: Optional[Tuple[ASN, ASPath]] = None
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: ASN, message) -> None:
+        if sender not in self.sessions:
+            return
+        if isinstance(message, FailoverAnnouncement):
+            self.failover_rib[sender] = message.path
+            self._record_failover_state()
+            return
+        if isinstance(message, FailoverWithdrawal):
+            if self.failover_rib.pop(sender, None) is not None:
+                self._record_failover_state()
+            return
+        root_cause = getattr(message, "root_cause", None)
+        if self.rci and root_cause is not None:
+            self._purge_root_cause(root_cause)
+        if (
+            self.rci
+            and isinstance(message, Announcement)
+            and root_cause is None
+            and self.known_bad_links
+        ):
+            # A fresh (non-root-caused) announcement attests that every
+            # link on its path is up again: recovery information is
+            # newer than our failure knowledge.  Route additions cause
+            # no transient problems (Lemma 3.1), so trusting it is safe.
+            for link in path_links((self.asn,) + message.path):
+                self.known_bad_links.discard(link)
+        if (
+            self.rci
+            and isinstance(message, Announcement)
+            and self.known_bad_links
+            and any(
+                link in self.known_bad_links
+                for link in path_links((self.asn,) + message.path)
+            )
+        ):
+            # RCI lets us reject a stale path through a failed link as
+            # if it were a withdrawal.
+            message = Withdrawal(root_cause=root_cause)
+        super().on_message(sender, message)
+        self._update_failover_advertisement()
+
+    def on_session_down(self, peer: ASN) -> None:
+        if peer not in self.sessions:
+            return
+        if self.failover_rib.pop(peer, None) is not None:
+            self._record_failover_state()
+        if self._failover_sent is not None and self._failover_sent[0] == peer:
+            self._failover_sent = None
+        if self.rci:
+            self._purge_root_cause(normalize_link(self.asn, peer))
+        super().on_session_down(peer)
+        self._update_failover_advertisement()
+
+    def on_session_up(self, peer: ASN) -> None:
+        # A recovery invalidates our stale failure knowledge.
+        self.known_bad_links.discard(normalize_link(self.asn, peer))
+        super().on_session_up(peer)
+        self._update_failover_advertisement()
+
+    # ------------------------------------------------------------------
+    # RCI
+    # ------------------------------------------------------------------
+
+    def _purge_root_cause(self, link: Link) -> None:
+        """Drop every known path that traverses the root-caused link."""
+        self.known_bad_links.add(link)
+        changed = False
+        for neighbor in list(self.adj_rib_in):
+            route = self.adj_rib_in.get(neighbor)
+            full = (self.asn,) + route.path
+            if path_contains_link(full, link):
+                self.adj_rib_in.withdraw(neighbor)
+                changed = True
+        for upstream in list(self.failover_rib):
+            full = (self.asn,) + self.failover_rib[upstream]
+            if path_contains_link(full, link):
+                del self.failover_rib[upstream]
+                self._record_failover_state()
+        # The decision re-runs in the caller (message/session handler);
+        # nothing else to do here.
+        del changed
+
+    # ------------------------------------------------------------------
+    # Data plane (FIB) semantics
+    # ------------------------------------------------------------------
+
+    def _record_best_change(self, old, new) -> None:
+        path = new.path if new is not None else None
+        if self.rci and path is None and self.fib_path is not None:
+            # Retain the stale entry; the trace state is unchanged.
+            return
+        self.fib_path = path
+        if self.trace is not None:
+            self.trace.record(self.engine.now, self.asn, self.tag, path)
+
+    @property
+    def data_plane_path(self) -> Optional[ASPath]:
+        """What the FIB currently forwards on (may be stale under RCI)."""
+        return self.fib_path
+
+    # ------------------------------------------------------------------
+    # Failover advertisement
+    # ------------------------------------------------------------------
+
+    def compute_failover_route(self) -> Optional[Route]:
+        """Most disjoint alternate to our primary path.
+
+        Disjointness is measured in shared links with the primary path
+        (R-BGP's criterion), ties broken by the regular decision order.
+        Unlike regular announcements, failover paths are *not* subject
+        to the valley-free export filter: the R-BGP paper explicitly
+        relaxes export policy for failover paths (they are used only
+        transiently, and ASes have a reachability incentive to accept
+        the brief policy violation).  Without this relaxation a tier-1
+        could never receive a failover path from a peer, crippling
+        recovery from core-link failures.
+        """
+        if self.best is None or self.best.is_origin:
+            return None
+        target = self.best.learned_from
+        primary_links = path_links((self.asn,) + self.best.path)
+        best_candidate: Optional[Route] = None
+        best_key = None
+        for route in self.adj_rib_in.routes():
+            if route.learned_from == target:
+                continue
+            if target in route.path:
+                # Useless to the target: it would route through itself.
+                continue
+            overlap = len(
+                primary_links & path_links((self.asn,) + route.path)
+            )
+            key = (overlap,) + route_sort_key(self.graph, self.asn, route)
+            if best_key is None or key < best_key:
+                best_candidate, best_key = route, key
+        return best_candidate
+
+    def _update_failover_advertisement(self) -> None:
+        """(Re-)advertise our failover path to the primary next hop."""
+        if self.rci and self.best is None and self._failover_sent is not None:
+            # Our route vanished but (under make-before-break) upstream
+            # traffic may still flow through the old next hop; keep the
+            # failover advertisement alive until we re-route.
+            return
+        target = (
+            self.best.learned_from
+            if self.best is not None and not self.best.is_origin
+            else None
+        )
+        failover = self.compute_failover_route() if target is not None else None
+        desired: Optional[Tuple[ASN, ASPath]] = None
+        if target is not None and failover is not None:
+            desired = (target, (self.asn,) + failover.path)
+        if desired == self._failover_sent:
+            return
+        if self._failover_sent is not None:
+            old_target, _ = self._failover_sent
+            if desired is None or desired[0] != old_target:
+                if old_target in self.sessions:
+                    self.stats.withdrawals += 1
+                    self.transport.send(
+                        self.asn, old_target, FailoverWithdrawal(), tag=self.tag
+                    )
+        if desired is not None:
+            self.stats.announcements += 1
+            self.transport.send(
+                self.asn,
+                desired[0],
+                FailoverAnnouncement(path=desired[1]),
+                tag=self.tag,
+            )
+        self._failover_sent = desired
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def _record_failover_state(self) -> None:
+        if self.trace is None:
+            return
+        snapshot = tuple(
+            (upstream, self.failover_rib[upstream])
+            for upstream in sorted(self.failover_rib)
+        )
+        self.trace.record(self.engine.now, self.asn, FAILOVER, snapshot)
+
+    def failover_state(self) -> Tuple[Tuple[ASN, ASPath], ...]:
+        """Current failover entries in trace format."""
+        return tuple(
+            (upstream, self.failover_rib[upstream])
+            for upstream in sorted(self.failover_rib)
+        )

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+Provides the event loop, FIFO message channels with the paper's
+uniform [10 ms, 20 ms] processing/transmission delays, per-peer MRAI
+pacing (30 s x U[0.75, 1.0]), and forwarding-change tracing consumed by
+the transient-problem analyzer.
+"""
+
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.transport import Transport, SessionDownListener
+from repro.sim.timers import MRAIConfig, MRAIPacer
+from repro.sim.tracing import ForwardingChange, ForwardingTrace
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "DelayModel",
+    "UniformDelay",
+    "Transport",
+    "SessionDownListener",
+    "MRAIConfig",
+    "MRAIPacer",
+    "ForwardingChange",
+    "ForwardingTrace",
+]

@@ -1,0 +1,106 @@
+"""Minimal deterministic discrete-event engine.
+
+Events are callbacks scheduled at absolute simulated times; ties are
+broken by insertion order, which (together with seeded RNGs everywhere)
+makes every simulation fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+
+class Engine:
+    """Event loop with a seeded random stream.
+
+    The single :attr:`rng` is the only source of randomness used by
+    protocol machinery (delays, MRAI jitter, blue-provider choices), so
+    a fixed seed reproduces a run exactly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Tuple[float, int, EventHandle, Callable[[], Any]]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for _, _, handle, _ in self._queue if not handle.cancelled)
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        handle = EventHandle(self._now + delay)
+        heapq.heappush(self._queue, (handle.time, self._seq, handle, action))
+        self._seq += 1
+        return handle
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> EventHandle:
+        """Schedule ``action`` at an absolute simulated time."""
+        return self.schedule(time - self._now, action)
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events until the queue drains (or a limit is hit).
+
+        Returns the number of events executed by this call.  ``until``
+        stops the clock at an absolute time (later events stay queued);
+        ``max_events`` bounds the number of callbacks, raising
+        :class:`SimulationError` when exceeded — the backstop against a
+        non-converging protocol bug.
+        """
+        executed = 0
+        while self._queue:
+            time, _, handle, action = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            action()
+            executed += 1
+            self._events_processed += 1
+            if max_events is not None and executed >= max_events:
+                if self._queue:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} with "
+                        f"{self.pending()} events still pending"
+                    )
+        return executed

@@ -1,0 +1,99 @@
+"""Per-peer MRAI (Minimum Route Advertisement Interval) pacing.
+
+The paper configures a peer-based MRAI of 30 seconds multiplied by a
+random factor uniform in [0.75, 1.0]; following common router behavior
+(and the original Labovitz analysis) withdrawals are not rate-limited
+unless configured otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine, EventHandle
+from repro.types import ASN
+
+
+@dataclass(frozen=True)
+class MRAIConfig:
+    """MRAI parameters (paper defaults)."""
+
+    base: float = 30.0
+    jitter_low: float = 0.75
+    jitter_high: float = 1.0
+    #: Whether withdrawals are subject to MRAI pacing (WRATE).  Off by
+    #: default, matching common implementations.
+    applies_to_withdrawals: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ConfigurationError("MRAI base must be non-negative")
+        if not 0 <= self.jitter_low <= self.jitter_high:
+            raise ConfigurationError("invalid MRAI jitter bounds")
+
+
+class MRAIPacer:
+    """Rate-limits advertisements from one speaker to its peers.
+
+    Each peer gets a fixed per-peer interval drawn once (base x jitter).
+    ``request_send(peer)`` either fires the flush callback immediately
+    (restarting the interval) or arms a timer for the earliest allowed
+    instant; repeated requests while armed coalesce, mirroring how a BGP
+    speaker advertises only its latest state when the timer expires.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: MRAIConfig,
+        flush: Callable[[ASN], None],
+    ) -> None:
+        self._engine = engine
+        self._config = config
+        self._flush = flush
+        self._interval: Dict[ASN, float] = {}
+        self._next_allowed: Dict[ASN, float] = {}
+        self._armed: Dict[ASN, EventHandle] = {}
+
+    def interval_for(self, peer: ASN) -> float:
+        """The fixed MRAI interval used toward one peer."""
+        if peer not in self._interval:
+            jitter = self._engine.rng.uniform(
+                self._config.jitter_low, self._config.jitter_high
+            )
+            self._interval[peer] = self._config.base * jitter
+        return self._interval[peer]
+
+    def request_send(self, peer: ASN, *, is_withdrawal: bool = False) -> None:
+        """Ask to advertise to ``peer`` as soon as MRAI allows."""
+        if is_withdrawal and not self._config.applies_to_withdrawals:
+            self._fire(peer, restart_timer=False)
+            return
+        now = self._engine.now
+        allowed_at = self._next_allowed.get(peer, 0.0)
+        if now >= allowed_at:
+            self._fire(peer, restart_timer=True)
+            return
+        if peer not in self._armed:
+            handle = self._engine.schedule_at(
+                allowed_at, lambda: self._on_timer(peer)
+            )
+            self._armed[peer] = handle
+
+    def cancel(self, peer: ASN) -> None:
+        """Drop any armed timer toward a peer (e.g., session went down)."""
+        handle = self._armed.pop(peer, None)
+        if handle is not None:
+            handle.cancel()
+        self._next_allowed.pop(peer, None)
+
+    def _on_timer(self, peer: ASN) -> None:
+        self._armed.pop(peer, None)
+        self._fire(peer, restart_timer=True)
+
+    def _fire(self, peer: ASN, *, restart_timer: bool) -> None:
+        if restart_timer:
+            self._next_allowed[peer] = self._engine.now + self.interval_for(peer)
+        self._flush(peer)

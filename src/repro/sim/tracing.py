@@ -1,0 +1,70 @@
+"""Forwarding-change tracing.
+
+Protocol simulators report every change to an AS's forwarding choice
+(next hop, per color for STAMP); the transient-problem analyzer replays
+the resulting timeline, walking the data plane at each instant where
+anything changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.types import ASN
+
+
+@dataclass(frozen=True)
+class ForwardingChange:
+    """One timestamped change of an AS's forwarding state.
+
+    ``key`` distinguishes parallel processes (e.g. STAMP colors) and
+    ``state`` is protocol-defined (typically the next hop or the full
+    route); ``None`` means "no route".
+    """
+
+    time: float
+    asn: ASN
+    key: Hashable
+    state: Any
+
+
+@dataclass
+class ForwardingTrace:
+    """Ordered log of forwarding changes plus snapshot replay."""
+
+    changes: List[ForwardingChange] = field(default_factory=list)
+
+    def record(self, time: float, asn: ASN, key: Hashable, state: Any) -> None:
+        """Append one change (times must be non-decreasing)."""
+        self.changes.append(ForwardingChange(time, asn, key, state))
+
+    def clear(self) -> None:
+        """Drop all recorded changes (e.g. after initial convergence)."""
+        self.changes.clear()
+
+    def distinct_times(self) -> List[float]:
+        """Sorted unique timestamps at which anything changed."""
+        return sorted({change.time for change in self.changes})
+
+    def replay(
+        self, initial: Dict[Tuple[ASN, Hashable], Any]
+    ) -> Iterator[Tuple[float, Dict[Tuple[ASN, Hashable], Any]]]:
+        """Yield ``(time, state)`` after applying each instant's changes.
+
+        ``initial`` is the full forwarding state just before the first
+        recorded change; the same (mutated) dict is yielded each time,
+        so callers must not hold references across iterations.
+        """
+        state = dict(initial)
+        pending = sorted(
+            self.changes, key=lambda change: change.time
+        )
+        index = 0
+        while index < len(pending):
+            time = pending[index].time
+            while index < len(pending) and pending[index].time == time:
+                change = pending[index]
+                state[(change.asn, change.key)] = change.state
+                index += 1
+            yield time, state

@@ -1,0 +1,171 @@
+"""Reliable FIFO message transport between AS neighbors.
+
+Each ordered pair of adjacent ASes gets an independent channel.  A
+channel delivers messages in order (BGP runs over TCP) with a sampled
+per-message delay; messages in flight when the underlying link fails
+are lost, and both endpoints get a session-down notification at the
+failure instant (BGP's session reset).
+
+Channels are keyed by an optional ``tag`` so that STAMP's red and blue
+processes get their own sessions over the same physical link, exactly
+like running two BGP processes on distinct TCP ports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.delays import DelayModel, UniformDelay
+from repro.sim.engine import Engine
+from repro.types import ASN, Link, normalize_link
+
+#: Callback invoked when a message arrives: (sender, message).
+Receiver = Callable[[ASN, Any], None]
+#: Callback invoked when the session to a neighbor resets: (neighbor,).
+SessionDownListener = Callable[[ASN], None]
+
+
+class _Channel:
+    """One direction of one (possibly tagged) session."""
+
+    __slots__ = ("last_delivery",)
+
+    def __init__(self) -> None:
+        self.last_delivery = 0.0
+
+
+class Transport:
+    """All sessions of a simulated network, plus link failure state."""
+
+    #: Minimal spacing between deliveries on one channel, to preserve
+    #: FIFO order under random per-message delays.
+    FIFO_EPSILON = 1e-9
+
+    def __init__(self, engine: Engine, delay_model: DelayModel | None = None) -> None:
+        self._engine = engine
+        self._delay = delay_model or UniformDelay()
+        self._receivers: Dict[Tuple[ASN, Hashable], Receiver] = {}
+        self._down_listeners: Dict[ASN, SessionDownListener] = {}
+        self._channels: Dict[Tuple[ASN, ASN, Hashable], _Channel] = {}
+        self._failed_links: Set[Link] = set()
+        self._failed_ases: Set[ASN] = set()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_lost = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_receiver(
+        self, asn: ASN, receiver: Receiver, *, tag: Hashable = None
+    ) -> None:
+        """Register the message handler of one protocol instance."""
+        key = (asn, tag)
+        if key in self._receivers:
+            raise SimulationError(f"receiver already registered for {key}")
+        self._receivers[key] = receiver
+
+    def register_session_down_listener(
+        self, asn: ASN, listener: SessionDownListener
+    ) -> None:
+        """Register the (single) session-reset handler of an AS."""
+        if asn in self._down_listeners:
+            raise SimulationError(f"down-listener already registered for AS {asn}")
+        self._down_listeners[asn] = listener
+
+    # ------------------------------------------------------------------
+    # Link / node state
+    # ------------------------------------------------------------------
+
+    def link_is_up(self, a: ASN, b: ASN) -> bool:
+        """Whether the physical link between two ASes is currently up."""
+        return (
+            normalize_link(a, b) not in self._failed_links
+            and a not in self._failed_ases
+            and b not in self._failed_ases
+        )
+
+    def as_is_up(self, asn: ASN) -> bool:
+        """Whether an AS (router) is currently up."""
+        return asn not in self._failed_ases
+
+    @property
+    def failed_links(self) -> Set[Link]:
+        """Snapshot of currently failed links (normalized pairs)."""
+        return set(self._failed_links)
+
+    @property
+    def failed_ases(self) -> Set[ASN]:
+        """Snapshot of currently failed ASes."""
+        return set(self._failed_ases)
+
+    def fail_link(self, a: ASN, b: ASN, *, notify: Iterable[ASN] = ()) -> None:
+        """Fail the a-b link now; both (live) endpoints learn immediately.
+
+        ``notify`` defaults to both endpoints; pass a subset to model
+        one-sided detection in tests.
+        """
+        link = normalize_link(a, b)
+        if link in self._failed_links:
+            return
+        self._failed_links.add(link)
+        targets = tuple(notify) or (a, b)
+        for asn in targets:
+            if asn in self._failed_ases:
+                continue
+            listener = self._down_listeners.get(asn)
+            if listener is not None:
+                other = b if asn == a else a
+                listener(other)
+
+    def restore_link(self, a: ASN, b: ASN) -> None:
+        """Bring a failed link back up (route addition event)."""
+        self._failed_links.discard(normalize_link(a, b))
+
+    def fail_as(self, asn: ASN, neighbors: Iterable[ASN]) -> None:
+        """Fail an AS: every incident session resets for its neighbors."""
+        if asn in self._failed_ases:
+            return
+        self._failed_ases.add(asn)
+        for nbr in neighbors:
+            if nbr in self._failed_ases:
+                continue
+            listener = self._down_listeners.get(nbr)
+            if listener is not None:
+                listener(asn)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(self, src: ASN, dst: ASN, message: Any, *, tag: Hashable = None) -> None:
+        """Queue a message for FIFO delivery with a sampled delay.
+
+        Messages sent while the link is already down are silently lost
+        (the sender will also have received a session-down event, so in
+        practice protocols never do this).
+        """
+        self.messages_sent += 1
+        if not self.link_is_up(src, dst):
+            self.messages_lost += 1
+            return
+        channel = self._channels.setdefault((src, dst, tag), _Channel())
+        delivery = self._engine.now + self._delay.sample(self._engine.rng)
+        if delivery <= channel.last_delivery:
+            delivery = channel.last_delivery + self.FIFO_EPSILON
+        channel.last_delivery = delivery
+
+        def deliver() -> None:
+            # Messages in flight across a failure are lost.
+            if not self.link_is_up(src, dst):
+                self.messages_lost += 1
+                return
+            receiver = self._receivers.get((dst, tag))
+            if receiver is None:
+                raise SimulationError(f"no receiver for AS {dst} tag {tag!r}")
+            self.messages_delivered += 1
+            receiver(src, message)
+
+        self._engine.schedule_at(delivery, deliver)

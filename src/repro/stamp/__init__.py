@@ -1,0 +1,26 @@
+"""STAMP — the SelecTive Announcement Multi-Process routing protocol.
+
+The paper's primary contribution: every AS runs two mostly-unchanged
+BGP processes (red and blue) whose announcements toward *providers* are
+made selective so the two processes compute complementary routes.  The
+Lock attribute guarantees one blue downhill chain to a tier-1; the ET
+attribute tells the data plane which process currently has stable
+routes.
+"""
+
+from repro.stamp.coloring import (
+    BlueProviderSelector,
+    RandomBlueSelector,
+    IntelligentBlueSelector,
+)
+from repro.stamp.node import STAMPNode
+from repro.stamp.network import STAMPNetwork, STAMPConfig
+
+__all__ = [
+    "BlueProviderSelector",
+    "RandomBlueSelector",
+    "IntelligentBlueSelector",
+    "STAMPNode",
+    "STAMPNetwork",
+    "STAMPConfig",
+]

@@ -1,0 +1,293 @@
+"""One STAMP-running AS: two coordinated color processes.
+
+The node owns the paper's selective-announcement coordination (section
+4.1).  Toward customers and peers both processes export freely; toward
+providers the node enforces:
+
+* the Lock chain — if the blue process holds a Lock-carrying route (or
+  originates), exactly one provider (the *locked blue provider*)
+  receives the blue announcement with Lock set;
+* red precedence — every other provider receives the red route when
+  the red process has an exportable one;
+* blue fallback — providers that cannot be served red may receive the
+  blue route with Lock unset ("not required to propagate" downstream);
+* the single-homed exception (footnote 4) — an AS with one provider
+  announces both colors to it, deferring the coloring split to its
+  first multi-homed (direct or indirect) provider.
+
+The node also maintains the per-process instability flag driven by the
+ET attribute (section 5.2), which the data plane consults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.ribs import Route
+from repro.bgp.speaker import BGPSpeaker, ProtocolStats, SpeakerConfig
+from repro.sim.engine import Engine
+from repro.sim.tracing import ForwardingTrace
+from repro.sim.transport import Transport
+from repro.stamp.coloring import BlueProviderSelector, RandomBlueSelector
+from repro.topology.graph import ASGraph
+from repro.types import ASN, Color, EventType, Relationship
+
+from repro.forwarding.stamp_plane import unstable_key
+
+
+class STAMPNode:
+    """The pair of red/blue processes of one AS, plus coordination."""
+
+    def __init__(
+        self,
+        asn: ASN,
+        graph: ASGraph,
+        engine: Engine,
+        transport: Transport,
+        *,
+        speaker_config: Optional[SpeakerConfig] = None,
+        trace: Optional[ForwardingTrace] = None,
+        stats: Optional[ProtocolStats] = None,
+        selector: Optional[BlueProviderSelector] = None,
+        permissive_blue: bool = False,
+        recolor_delay: float = 0.15,
+    ) -> None:
+        self.asn = asn
+        self.graph = graph
+        self.engine = engine
+        self.selector = selector or RandomBlueSelector()
+        #: Paper 4.1: providers other than the locked target may
+        #: "possibly" receive the blue route without Lock.  Strict mode
+        #: (default) skips this optional propagation — the locked chain
+        #: already guarantees blue reachability everywhere, and the
+        #: optional announcements add red/blue reassignment churn.
+        self.permissive_blue = permissive_blue
+        #: Graceful re-coloring (make-before-break): when a provider
+        #: session flips color (e.g. the Lock chain migrates after a
+        #: failure), the newly-assigned color is announced immediately
+        #: while the old color's withdrawal is deferred by this many
+        #: seconds.  Without it, the red teardown can race ahead of the
+        #: blue build-up on the separate session, leaving downstream
+        #: ASes with neither color for a few message delays — a STAMP
+        #: dynamics wrinkle this reproduction surfaced (EXPERIMENTS.md).
+        self.recolor_delay = recolor_delay
+        self.trace = trace
+        self.locked_blue_provider: Optional[ASN] = None
+        self.unstable: Dict[Color, bool] = {Color.RED: False, Color.BLUE: False}
+        base_config = speaker_config or SpeakerConfig()
+
+        def make(color: Color, prefer_locked: bool) -> BGPSpeaker:
+            config = SpeakerConfig(
+                mrai=base_config.mrai, prefer_locked=prefer_locked
+            )
+            return BGPSpeaker(
+                asn,
+                graph,
+                engine,
+                transport,
+                config=config,
+                tag=color,
+                trace=trace,
+                stats=stats,
+                export_gate=lambda peer, route, c=color: self._gate(c, peer, route),
+                on_best_change=lambda spk, old, new, et, c=color: self._on_change(
+                    c, old, new, et
+                ),
+            )
+
+        self.processes: Dict[Color, BGPSpeaker] = {
+            Color.RED: make(Color.RED, prefer_locked=False),
+            Color.BLUE: make(Color.BLUE, prefer_locked=True),
+        }
+
+    @property
+    def red(self) -> BGPSpeaker:
+        """The red routing process."""
+        return self.processes[Color.RED]
+
+    @property
+    def blue(self) -> BGPSpeaker:
+        """The blue routing process."""
+        return self.processes[Color.BLUE]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def originate(self) -> None:
+        """Originate the prefix on both processes."""
+        self.red.originate()
+        self.blue.originate()
+
+    def on_session_down(self, peer: ASN) -> None:
+        """A physical link to a neighbor went down: both sessions reset."""
+        if self.locked_blue_provider == peer:
+            self.locked_blue_provider = None
+        self.red.on_session_down(peer)
+        self.blue.on_session_down(peer)
+        self._refresh_providers(EventType.LOSS)
+
+    def on_session_up(self, peer: ASN) -> None:
+        """A link came (back) up: both sessions re-establish."""
+        self.red.on_session_up(peer)
+        self.blue.on_session_up(peer)
+        self._refresh_providers(EventType.NO_LOSS)
+
+    # ------------------------------------------------------------------
+    # Coordination: selective announcement toward providers
+    # ------------------------------------------------------------------
+
+    def _live_providers(self) -> List[ASN]:
+        sessions = self.red.sessions  # both processes share physical links
+        return [p for p in self.graph.providers(self.asn) if p in sessions]
+
+    def _blue_has_lock(self) -> bool:
+        """Whether blue holds a Lock obligation (or originates)."""
+        blue = self.blue
+        if blue.is_origin:
+            return True
+        return blue.best is not None and blue.best.lock
+
+    def _red_exportable_to_providers(self) -> bool:
+        """Whether red has a route it may announce to providers."""
+        red = self.red
+        if red.is_origin:
+            return True
+        if red.best is None:
+            return False
+        rel = self.graph.relationship(self.asn, red.best.learned_from)
+        return rel is Relationship.CUSTOMER
+
+    def _locked_target(self, live_providers: List[ASN]) -> Optional[ASN]:
+        """The provider currently chosen for the Lock chain."""
+        if not live_providers:
+            return None
+        if (
+            self.locked_blue_provider is not None
+            and self.locked_blue_provider in live_providers
+        ):
+            return self.locked_blue_provider
+        self.locked_blue_provider = self.selector.select(
+            self.asn,
+            live_providers,
+            is_origin=self.blue.is_origin,
+            rng=self.engine.rng,
+        )
+        return self.locked_blue_provider
+
+    def _gate(self, color: Color, peer: ASN, route: Route) -> Tuple[bool, bool]:
+        """Selective-announcement decision for one (color, neighbor).
+
+        Called by the speaker only after the valley-free export filter
+        passed.  Returns ``(allow, lock)``.
+        """
+        if self.graph.relationship(self.asn, peer) is not Relationship.PROVIDER:
+            return (True, False)
+        live = self._live_providers()
+        has_lock = self._blue_has_lock()
+        if len(live) <= 1:
+            # Single-homed: both colors to the sole provider; the Lock
+            # obligation transfers upward (footnote 4).
+            return (True, color is Color.BLUE and has_lock)
+        if color is Color.BLUE:
+            if has_lock:
+                target = self._locked_target(live)
+                if peer == target:
+                    return (True, True)
+            if not self.permissive_blue:
+                return (False, False)
+            # Permissive: non-target providers get blue (unlocked) only
+            # when red cannot serve them (red precedence, section 4.1).
+            return (not self._red_exportable_to_providers(), False)
+        # Red process: all providers except the locked blue target.
+        if has_lock and peer == self._locked_target(live):
+            return (False, False)
+        return (True, False)
+
+    def _refresh_providers(self, et: EventType) -> None:
+        """Re-evaluate provider-direction exports of both processes.
+
+        When a provider's session flips from one color to the other,
+        the gaining color announces first and the losing color's
+        withdrawal is deferred (`recolor_delay`), so downstream ASes
+        never sit between the two sessions with no route at all.
+        """
+        for provider in self.graph.providers(self.asn):
+            gains: List[BGPSpeaker] = []
+            losses: List[BGPSpeaker] = []
+            for process in self.processes.values():
+                advertising = process.is_advertising(provider)
+                wants = process.export_for(provider) is not None
+                if wants and not advertising:
+                    gains.append(process)
+                elif advertising and not wants:
+                    losses.append(process)
+                else:
+                    # Same-color refresh (e.g. path change): immediate.
+                    process.refresh_peer(provider, et=et)
+            for process in gains:
+                process.refresh_peer(provider, et=et)
+            for process in losses:
+                if gains and self.recolor_delay > 0:
+                    self.engine.schedule(
+                        self.recolor_delay,
+                        lambda p=provider, proc=process: proc.refresh_peer(p),
+                    )
+                else:
+                    process.refresh_peer(provider, et=et)
+
+    # ------------------------------------------------------------------
+    # ET-driven instability tracking
+    # ------------------------------------------------------------------
+
+    def _on_change(
+        self,
+        color: Color,
+        old: Optional[Route],
+        new: Optional[Route],
+        et: EventType,
+    ) -> None:
+        self._set_unstable(color, et is EventType.LOSS)
+        # Any best change may flip provider color assignments (red
+        # precedence / lock chain), so both processes re-check.
+        self._refresh_providers(et)
+
+    def _set_unstable(self, color: Color, flag: bool) -> None:
+        if self.unstable[color] == flag:
+            return
+        self.unstable[color] = flag
+        if self.trace is not None:
+            self.trace.record(
+                self.engine.now, self.asn, unstable_key(color), flag
+            )
+
+    def clear_instability(self) -> None:
+        """Reset both flags (convergence reached; routes are stable)."""
+        for color in (Color.RED, Color.BLUE):
+            self._set_unstable(color, False)
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def best_path(self, color: Color):
+        """Full forwarding path of one color including this AS."""
+        best = self.processes[color].best
+        if best is None:
+            return None
+        return (self.asn,) + best.path
+
+    def forwarding_state(self) -> Dict:
+        """This node's slice of the trace key space."""
+        state: Dict = {}
+        for color, process in self.processes.items():
+            state[(self.asn, color)] = process.forwarding_path
+            state[(self.asn, unstable_key(color))] = self.unstable[color]
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"STAMPNode(asn={self.asn}, "
+            f"red={self.red.forwarding_path}, blue={self.blue.forwarding_path}, "
+            f"lock_target={self.locked_blue_provider})"
+        )

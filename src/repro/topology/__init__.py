@@ -1,0 +1,57 @@
+"""AS-level Internet topology substrate.
+
+Provides the annotated AS graph (customer-provider and peer-peer
+relationships), Internet-like synthetic generators, Gao's relationship
+inference algorithm, RouteViews-style table synthesis, valley-free path
+utilities, and (de)serialization.
+"""
+
+from repro.topology.graph import ASGraph
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_topology,
+    chain_topology,
+    clique_topology,
+    example_paper_topology,
+)
+from repro.topology.paths import (
+    is_valley_free,
+    split_uphill_downhill,
+    downhill_nodes,
+    downhill_node_disjoint,
+    path_is_loop_free,
+)
+from repro.topology.inference import InferenceResult, infer_relationships
+from repro.topology.routeviews import (
+    RouteViewsTable,
+    synthesize_routeviews_tables,
+    dump_tables,
+    parse_tables,
+)
+from repro.topology.serialization import load_graph, save_graph, graph_to_lines
+from repro.topology.validation import ValidationReport, validate_graph
+
+__all__ = [
+    "ASGraph",
+    "InternetTopologyConfig",
+    "generate_internet_topology",
+    "chain_topology",
+    "clique_topology",
+    "example_paper_topology",
+    "is_valley_free",
+    "split_uphill_downhill",
+    "downhill_nodes",
+    "downhill_node_disjoint",
+    "path_is_loop_free",
+    "InferenceResult",
+    "infer_relationships",
+    "RouteViewsTable",
+    "synthesize_routeviews_tables",
+    "dump_tables",
+    "parse_tables",
+    "load_graph",
+    "save_graph",
+    "graph_to_lines",
+    "ValidationReport",
+    "validate_graph",
+]

@@ -1,0 +1,283 @@
+"""Annotated AS graph.
+
+Each AS is one node (the paper's model); each link carries one of the
+two common business relationships: customer-provider (c2p) or peer-peer
+(p2p).  The customer-provider hierarchy is required to be acyclic, which
+is the assumption under which Gao-Rexford safety (and hence the paper's
+analysis) holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import (
+    CyclicHierarchyError,
+    TopologyError,
+    UnknownASError,
+    UnknownLinkError,
+)
+from repro.types import ASN, Link, Relationship, normalize_link
+
+
+class ASGraph:
+    """Mutable AS-level topology with relationship-annotated links.
+
+    Relationships are stored from each endpoint's viewpoint:
+    ``graph.relationship(a, b)`` answers "what is *b* to *a*?".
+    """
+
+    def __init__(self) -> None:
+        self._nbr: Dict[ASN, Dict[ASN, Relationship]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_as(self, asn: ASN) -> None:
+        """Add an AS with no links (idempotent)."""
+        self._nbr.setdefault(asn, {})
+
+    def add_c2p(self, customer: ASN, provider: ASN) -> None:
+        """Add a customer-provider link.
+
+        Raises :class:`TopologyError` on self-links or if the link
+        already exists with a different relationship.
+        """
+        self._add_link(customer, provider, Relationship.PROVIDER)
+
+    def add_p2p(self, a: ASN, b: ASN) -> None:
+        """Add a settlement-free peering link."""
+        self._add_link(a, b, Relationship.PEER)
+
+    def _add_link(self, a: ASN, b: ASN, rel_of_b: Relationship) -> None:
+        if a == b:
+            raise TopologyError(f"self-link at AS {a}")
+        self.add_as(a)
+        self.add_as(b)
+        existing = self._nbr[a].get(b)
+        if existing is not None and existing is not rel_of_b:
+            raise TopologyError(
+                f"link {a}-{b} already exists with relationship {existing.value}"
+            )
+        self._nbr[a][b] = rel_of_b
+        self._nbr[b][a] = rel_of_b.inverse
+
+    def remove_link(self, a: ASN, b: ASN) -> None:
+        """Remove the link between two ASes."""
+        if not self.has_link(a, b):
+            raise UnknownLinkError(f"no link {a}-{b}")
+        del self._nbr[a][b]
+        del self._nbr[b][a]
+
+    def remove_as(self, asn: ASN) -> None:
+        """Remove an AS and all of its links."""
+        self._require(asn)
+        for nbr in list(self._nbr[asn]):
+            del self._nbr[nbr][asn]
+        del self._nbr[asn]
+
+    def copy(self) -> "ASGraph":
+        """Deep copy of the graph."""
+        clone = ASGraph()
+        clone._nbr = {asn: dict(nbrs) for asn, nbrs in self._nbr.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _require(self, asn: ASN) -> None:
+        if asn not in self._nbr:
+            raise UnknownASError(f"AS {asn} not in graph")
+
+    def __contains__(self, asn: ASN) -> bool:
+        return asn in self._nbr
+
+    def __len__(self) -> int:
+        return len(self._nbr)
+
+    def __iter__(self) -> Iterator[ASN]:
+        return iter(self._nbr)
+
+    @property
+    def ases(self) -> List[ASN]:
+        """All AS numbers, sorted (stable iteration for seeded runs)."""
+        return sorted(self._nbr)
+
+    def has_link(self, a: ASN, b: ASN) -> bool:
+        """Whether a direct link exists between two ASes."""
+        return a in self._nbr and b in self._nbr[a]
+
+    def relationship(self, a: ASN, b: ASN) -> Relationship:
+        """What *b* is to *a* (customer, peer, or provider)."""
+        self._require(a)
+        try:
+            return self._nbr[a][b]
+        except KeyError:
+            raise UnknownLinkError(f"no link {a}-{b}") from None
+
+    def neighbors(self, asn: ASN) -> List[ASN]:
+        """All neighbors of an AS, sorted."""
+        self._require(asn)
+        return sorted(self._nbr[asn])
+
+    def _by_rel(self, asn: ASN, rel: Relationship) -> List[ASN]:
+        self._require(asn)
+        return sorted(n for n, r in self._nbr[asn].items() if r is rel)
+
+    def providers(self, asn: ASN) -> List[ASN]:
+        """Providers of an AS, sorted."""
+        return self._by_rel(asn, Relationship.PROVIDER)
+
+    def customers(self, asn: ASN) -> List[ASN]:
+        """Customers of an AS, sorted."""
+        return self._by_rel(asn, Relationship.CUSTOMER)
+
+    def peers(self, asn: ASN) -> List[ASN]:
+        """Peers of an AS, sorted."""
+        return self._by_rel(asn, Relationship.PEER)
+
+    def degree(self, asn: ASN) -> int:
+        """Number of neighbors."""
+        self._require(asn)
+        return len(self._nbr[asn])
+
+    def is_multihomed(self, asn: ASN) -> bool:
+        """Whether the AS has two or more providers."""
+        return len(self.providers(asn)) >= 2
+
+    def is_stub(self, asn: ASN) -> bool:
+        """Whether the AS has no customers."""
+        return not self.customers(asn)
+
+    def is_tier1(self, asn: ASN) -> bool:
+        """Whether the AS has no providers (top of the hierarchy)."""
+        return not self.providers(asn)
+
+    def tier1s(self) -> List[ASN]:
+        """All provider-free ASes, sorted."""
+        return [asn for asn in self.ases if self.is_tier1(asn)]
+
+    def links(self) -> List[Tuple[ASN, ASN, Relationship]]:
+        """Every undirected link once, as ``(a, b, what-b-is-to-a)``.
+
+        c2p links are reported customer-first, p2p links low-ASN-first.
+        """
+        out: List[Tuple[ASN, ASN, Relationship]] = []
+        seen: Set[Link] = set()
+        for a in self.ases:
+            for b, rel in self._nbr[a].items():
+                key = normalize_link(a, b)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if rel is Relationship.PROVIDER:
+                    out.append((a, b, Relationship.PROVIDER))
+                elif rel is Relationship.CUSTOMER:
+                    out.append((b, a, Relationship.PROVIDER))
+                else:
+                    out.append((key[0], key[1], Relationship.PEER))
+        return out
+
+    def c2p_links(self) -> List[Link]:
+        """Every customer-provider link, customer first."""
+        return [(a, b) for a, b, rel in self.links() if rel is Relationship.PROVIDER]
+
+    def p2p_links(self) -> List[Link]:
+        """Every peering link, low ASN first."""
+        return [(a, b) for a, b, rel in self.links() if rel is Relationship.PEER]
+
+    # ------------------------------------------------------------------
+    # Hierarchy analysis
+    # ------------------------------------------------------------------
+
+    def check_acyclic_hierarchy(self) -> None:
+        """Raise :class:`CyclicHierarchyError` if c2p edges form a cycle.
+
+        The paper assumes customer-provider relationships are acyclic
+        (no AS is an indirect provider of its own provider).
+        """
+        try:
+            self.topological_order()
+        except CyclicHierarchyError:
+            raise
+
+    def topological_order(self) -> List[ASN]:
+        """ASes ordered so every customer precedes its providers.
+
+        Raises :class:`CyclicHierarchyError` when the hierarchy is cyclic.
+        """
+        indegree: Dict[ASN, int] = {asn: 0 for asn in self._nbr}
+        for _, provider in self.iter_c2p():
+            indegree[provider] += 0  # ensure key exists
+        # indegree counts customers still unprocessed below each provider.
+        for customer, provider in self.iter_c2p():
+            indegree[provider] += 1
+        ready = sorted(asn for asn, deg in indegree.items() if deg == 0)
+        order: List[ASN] = []
+        queue = list(ready)
+        while queue:
+            asn = queue.pop()
+            order.append(asn)
+            for provider in self.providers(asn):
+                indegree[provider] -= 1
+                if indegree[provider] == 0:
+                    queue.append(provider)
+        if len(order) != len(self._nbr):
+            raise CyclicHierarchyError("customer-provider hierarchy contains a cycle")
+        return order
+
+    def iter_c2p(self) -> Iterator[Link]:
+        """Iterate over every c2p link, customer first."""
+        for a in self._nbr:
+            for b, rel in self._nbr[a].items():
+                if rel is Relationship.PROVIDER:
+                    yield (a, b)
+
+    def uphill_reachable_tier1s(self, asn: ASN) -> Set[ASN]:
+        """Tier-1 ASes reachable from ``asn`` by climbing provider links."""
+        self._require(asn)
+        seen: Set[ASN] = set()
+        stack = [asn]
+        found: Set[ASN] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if self.is_tier1(node):
+                found.add(node)
+            stack.extend(self.providers(node))
+        return found
+
+    def first_multihomed_ancestor(self, asn: ASN) -> ASN | None:
+        """First multi-homed AS on a single-homed AS's provider chain.
+
+        Used by the paper to transfer the disjointness probability of a
+        single-homed AS to its first multi-homed (direct or indirect)
+        provider (footnote 4).  Returns ``asn`` itself when it is already
+        multi-homed, and ``None`` if the chain ends at a tier-1 without
+        ever meeting a multi-homed AS.
+        """
+        self._require(asn)
+        current = asn
+        visited: Set[ASN] = set()
+        while True:
+            if self.is_multihomed(current):
+                return current
+            providers = self.providers(current)
+            if not providers:
+                return None
+            if current in visited:  # defensive; acyclic graphs never hit this
+                return None
+            visited.add(current)
+            current = providers[0]
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ASGraph(|V|={len(self)}, c2p={len(self.c2p_links())}, "
+            f"p2p={len(self.p2p_links())})"
+        )

@@ -1,0 +1,184 @@
+"""Gao's AS relationship inference algorithm.
+
+The paper derives its AS topology from RouteViews BGP tables and infers
+customer-provider / peer-peer relationships "using Gao's algorithm"
+[Gao 2001, IEEE/ACM ToN].  We implement the classic three-phase
+algorithm so the full paper pipeline (tables -> annotated graph ->
+experiments) can be reproduced end to end on synthetic tables:
+
+1. **Transit counting** — in each AS path, the highest-degree AS is
+   taken as the top provider; every AS left of it is inferred to use
+   its right neighbor as transit (uphill), every AS right of it
+   provides transit to its right neighbor (downhill).
+2. **Relationship assignment** — an edge where only one side ever
+   transits for the other is customer-provider; edges with (more than
+   ``sibling_threshold``) transit observations in both directions are
+   siblings, which we conservatively fold into peering.
+3. **Peering identification** — the top edge of each path whose
+   endpoints never transit for each other and whose degrees are within
+   ``peering_degree_ratio`` is labeled peer-peer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.topology.graph import ASGraph
+from repro.types import ASN, Link, Relationship, normalize_link
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of relationship inference over a set of AS paths."""
+
+    #: Inferred annotated graph (only links seen in at least one path).
+    graph: ASGraph
+    #: Links inferred as peer-peer (normalized pairs).
+    peer_links: Set[Link] = field(default_factory=set)
+    #: Links inferred as customer-provider, customer first.
+    c2p_links: Set[Link] = field(default_factory=set)
+    #: Links with transit observations both ways (possible siblings).
+    sibling_links: Set[Link] = field(default_factory=set)
+
+    def accuracy_against(self, truth: ASGraph) -> Dict[str, float]:
+        """Fraction of inferred links whose label matches ground truth.
+
+        Returns per-class accuracy plus overall, considering only links
+        present in both graphs.
+        """
+        total = correct = 0
+        per_class: Dict[str, List[int]] = {"c2p": [0, 0], "p2p": [0, 0]}
+        for customer, provider in self.c2p_links:
+            if not truth.has_link(customer, provider):
+                continue
+            total += 1
+            per_class["c2p"][1] += 1
+            if truth.relationship(customer, provider) is Relationship.PROVIDER:
+                correct += 1
+                per_class["c2p"][0] += 1
+        for a, b in self.peer_links:
+            if not truth.has_link(a, b):
+                continue
+            total += 1
+            per_class["p2p"][1] += 1
+            if truth.relationship(a, b) is Relationship.PEER:
+                correct += 1
+                per_class["p2p"][0] += 1
+        out = {
+            "overall": correct / total if total else 0.0,
+        }
+        for name, (hits, seen) in per_class.items():
+            out[name] = hits / seen if seen else 0.0
+        return out
+
+
+def infer_relationships(
+    paths: Iterable[Sequence[ASN]],
+    *,
+    sibling_threshold: int = 1,
+    peering_degree_ratio: float = 60.0,
+) -> InferenceResult:
+    """Infer AS relationships from observed AS paths (Gao's algorithm).
+
+    ``paths`` are forwarding-order AS paths (vantage point first, origin
+    last), e.g. the AS_PATH column of RouteViews table dumps.
+    """
+    path_list: List[Tuple[ASN, ...]] = [tuple(p) for p in paths if len(p) >= 2]
+
+    # Degrees as seen in the paths themselves (the measured graph).
+    neighbor_sets: Dict[ASN, Set[ASN]] = defaultdict(set)
+    for path in path_list:
+        for u, v in zip(path, path[1:]):
+            if u == v:
+                continue
+            neighbor_sets[u].add(v)
+            neighbor_sets[v].add(u)
+    degree = {asn: len(nbrs) for asn, nbrs in neighbor_sets.items()}
+
+    # Phase 1: transit counting.  transit[(u, v)] counts observations
+    # of "v provides transit for u", i.e. v looks like u's provider.
+    transit: Counter = Counter()
+    for path in path_list:
+        top = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for i in range(top):
+            transit[(path[i], path[i + 1])] += 1
+        for i in range(top, len(path) - 1):
+            transit[(path[i + 1], path[i])] += 1
+
+    # Phase 2: relationship assignment.
+    links: Set[Link] = set()
+    for path in path_list:
+        for u, v in zip(path, path[1:]):
+            if u != v:
+                links.add(normalize_link(u, v))
+
+    c2p: Set[Link] = set()
+    siblings: Set[Link] = set()
+    for a, b in sorted(links):
+        ab = transit[(a, b)]  # b transits for a  => b provider of a
+        ba = transit[(b, a)]
+        if ab > sibling_threshold and ba > sibling_threshold:
+            siblings.add((a, b))
+        elif ab > 0 and ba > 0:
+            # Conflicting but weak evidence: trust the heavier side.
+            if ab >= ba:
+                c2p.add((a, b))
+            else:
+                c2p.add((b, a))
+        elif ab > 0:
+            c2p.add((a, b))
+        elif ba > 0:
+            c2p.add((b, a))
+
+    # Phase 3: peering identification among each path's top edge.
+    not_peering: Set[Link] = set()
+    candidate_peers: Set[Link] = set()
+    for path in path_list:
+        top = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for index, (u, v) in enumerate(zip(path, path[1:])):
+            link = normalize_link(u, v)
+            if index in (top - 1, top):
+                candidate_peers.add(link)
+            else:
+                not_peering.add(link)
+
+    peers: Set[Link] = set()
+    for a, b in sorted(candidate_peers - not_peering):
+        if (a, b) in siblings:
+            continue
+        deg_a, deg_b = degree.get(a, 1), degree.get(b, 1)
+        ratio = max(deg_a, deg_b) / max(1, min(deg_a, deg_b))
+        if ratio > peering_degree_ratio:
+            continue
+        # Peering requires no transit evidence in either direction.
+        if transit[(a, b)] == 0 and transit[(b, a)] == 0:
+            peers.add((a, b))
+
+    # Assemble the inferred graph; peer labels win over c2p (a c2p label
+    # for a peer candidate can only come from misclassified top edges).
+    graph = ASGraph()
+    final_c2p: Set[Link] = set()
+    for customer, provider in sorted(c2p):
+        link = normalize_link(customer, provider)
+        if link in peers or link in siblings:
+            continue
+        graph.add_c2p(customer, provider)
+        final_c2p.add((customer, provider))
+    for a, b in sorted(peers | siblings):
+        if not graph.has_link(a, b):
+            graph.add_p2p(a, b)
+    # Any link never classified (no transit evidence, not a candidate
+    # peer) defaults to peering — no evidence of hierarchy.
+    for a, b in sorted(links):
+        if not graph.has_link(a, b):
+            graph.add_p2p(a, b)
+            peers.add((a, b))
+
+    return InferenceResult(
+        graph=graph,
+        peer_links=peers,
+        c2p_links=final_c2p,
+        sibling_links=siblings,
+    )

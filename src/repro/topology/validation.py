@@ -1,0 +1,88 @@
+"""Structural validation of AS topologies.
+
+Checks the assumptions the paper's analysis rests on: an acyclic
+customer-provider hierarchy, a connected (peered) tier-1 core, and
+uphill tier-1 reachability from every AS — the property that makes a
+locked blue path always terminate at a tier-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import CyclicHierarchyError
+from repro.topology.graph import ASGraph
+from repro.types import ASN
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`."""
+
+    acyclic: bool = True
+    tier1_core_peered: bool = True
+    all_reach_tier1: bool = True
+    isolated_ases: List[ASN] = field(default_factory=list)
+    unreachable_tier1: List[ASN] = field(default_factory=list)
+    unpeered_tier1_pairs: List[tuple] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every structural assumption holds."""
+        return (
+            self.acyclic
+            and self.tier1_core_peered
+            and self.all_reach_tier1
+            and not self.isolated_ases
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        if self.ok:
+            return "topology OK: acyclic hierarchy, peered core, full uphill reach"
+        problems: List[str] = []
+        if not self.acyclic:
+            problems.append("c2p hierarchy is cyclic")
+        if not self.tier1_core_peered:
+            problems.append(
+                f"{len(self.unpeered_tier1_pairs)} unpeered tier-1 pairs"
+            )
+        if not self.all_reach_tier1:
+            problems.append(
+                f"{len(self.unreachable_tier1)} ASes cannot reach a tier-1 uphill"
+            )
+        if self.isolated_ases:
+            problems.append(f"{len(self.isolated_ases)} isolated ASes")
+        return "topology problems: " + "; ".join(problems)
+
+
+def validate_graph(graph: ASGraph) -> ValidationReport:
+    """Check all structural assumptions; never raises."""
+    report = ValidationReport()
+
+    try:
+        graph.check_acyclic_hierarchy()
+    except CyclicHierarchyError:
+        report.acyclic = False
+
+    report.isolated_ases = [
+        asn for asn in graph.ases if graph.degree(asn) == 0 and len(graph) > 1
+    ]
+
+    tier1s = graph.tier1s()
+    for i, a in enumerate(tier1s):
+        for b in tier1s[i + 1 :]:
+            if not graph.has_link(a, b):
+                report.unpeered_tier1_pairs.append((a, b))
+    report.tier1_core_peered = not report.unpeered_tier1_pairs
+
+    if report.acyclic:
+        for asn in graph.ases:
+            if not graph.uphill_reachable_tier1s(asn):
+                report.unreachable_tier1.append(asn)
+        report.all_reach_tier1 = not report.unreachable_tier1
+    else:
+        report.all_reach_tier1 = False
+
+    return report

@@ -1,0 +1,81 @@
+"""Unit tests for BGP messages and RIB structures."""
+
+import pytest
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.ribs import AdjRibIn, Route
+from repro.types import EventType
+
+
+class TestAnnouncement:
+    def test_sender_is_first_hop(self):
+        msg = Announcement(path=(3, 2, 1))
+        assert msg.sender == 3
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Announcement(path=())
+
+    def test_defaults(self):
+        msg = Announcement(path=(1,))
+        assert msg.et is EventType.NO_LOSS
+        assert not msg.lock
+        assert msg.root_cause is None
+
+    def test_frozen(self):
+        msg = Announcement(path=(1,))
+        with pytest.raises(Exception):
+            msg.lock = True
+
+
+class TestWithdrawal:
+    def test_is_loss_event(self):
+        assert Withdrawal().et is EventType.LOSS
+
+
+class TestRoute:
+    def test_origin_route(self):
+        route = Route(path=(), learned_from=None)
+        assert route.is_origin
+        assert route.length == 0
+        assert route.next_hop is None
+
+    def test_learned_route(self):
+        route = Route(path=(5, 9), learned_from=5)
+        assert not route.is_origin
+        assert route.length == 2
+        assert route.next_hop == 5
+
+    def test_path_must_start_at_neighbor(self):
+        with pytest.raises(ValueError):
+            Route(path=(7, 9), learned_from=5)
+
+    def test_origin_with_path_rejected(self):
+        with pytest.raises(ValueError):
+            Route(path=(1,), learned_from=None)
+
+
+class TestAdjRibIn:
+    def test_update_get_withdraw(self):
+        rib = AdjRibIn()
+        route = Route(path=(5, 9), learned_from=5)
+        rib.update(5, route)
+        assert rib.get(5) == route
+        assert 5 in rib
+        assert rib.withdraw(5)
+        assert rib.get(5) is None
+        assert not rib.withdraw(5)
+
+    def test_routes_in_neighbor_order(self):
+        rib = AdjRibIn()
+        rib.update(7, Route(path=(7, 9), learned_from=7))
+        rib.update(3, Route(path=(3, 9), learned_from=3))
+        assert [r.learned_from for r in rib.routes()] == [3, 7]
+        assert rib.neighbors() == [3, 7]
+        assert len(rib) == 2
+
+    def test_update_replaces(self):
+        rib = AdjRibIn()
+        rib.update(5, Route(path=(5, 9), learned_from=5))
+        rib.update(5, Route(path=(5, 8, 9), learned_from=5))
+        assert rib.get(5).length == 3

@@ -1,0 +1,169 @@
+"""Behavioral tests for a single BGP speaker in tiny networks."""
+
+import pytest
+
+from repro.bgp.messages import Announcement, Withdrawal
+from repro.bgp.network import BGPNetwork, NetworkConfig
+from repro.bgp.speaker import BGPSpeaker, SpeakerConfig
+from repro.sim.delays import FixedDelay
+from repro.sim.engine import Engine
+from repro.sim.timers import MRAIConfig
+from repro.sim.transport import Transport
+from repro.topology.graph import ASGraph
+from repro.types import EventType
+
+
+def make_line_graph():
+    """1 -- 2 -- 3 as a customer chain (1 at the bottom)."""
+    graph = ASGraph()
+    graph.add_c2p(1, 2)
+    graph.add_c2p(2, 3)
+    return graph
+
+
+@pytest.fixture
+def harness():
+    """Speaker for AS 2 with scripted neighbors 1 and 3."""
+    graph = make_line_graph()
+    engine = Engine(seed=0)
+    transport = Transport(engine, FixedDelay(0.01))
+    inboxes = {1: [], 3: []}
+    transport.register_receiver(1, lambda s, m: inboxes[1].append(m))
+    transport.register_receiver(3, lambda s, m: inboxes[3].append(m))
+    speaker = BGPSpeaker(
+        2,
+        graph,
+        engine,
+        transport,
+        config=SpeakerConfig(mrai=MRAIConfig(base=5.0, jitter_low=1.0, jitter_high=1.0)),
+    )
+    return engine, speaker, inboxes
+
+
+class TestOrigination:
+    def test_origin_advertises_to_all_neighbors(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.originate()
+        engine.run()
+        assert [m.path for m in inboxes[1]] == [(2,)]
+        assert [m.path for m in inboxes[3]] == [(2,)]
+
+    def test_origin_route_is_best(self, harness):
+        _, speaker, _ = harness
+        speaker.originate()
+        assert speaker.best.is_origin
+
+
+class TestAnnouncementHandling:
+    def test_learned_route_propagates_with_prepending(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        # Customer route: exported to provider 3 but not back to 1.
+        assert [m.path for m in inboxes[3]] == [(2, 1, 9)]
+        assert inboxes[1] == []
+
+    def test_provider_route_not_exported_to_provider(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(3, Announcement(path=(3, 9)))
+        engine.run()
+        # Learned from provider: exported only to customer 1.
+        assert [m.path for m in inboxes[1]] == [(2, 3, 9)]
+        assert inboxes[3] == []
+
+    def test_looped_path_is_implicit_withdrawal(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        speaker.on_message(1, Announcement(path=(1, 2, 9)))
+        engine.run()
+        assert speaker.best is None
+        assert isinstance(inboxes[3][-1], Withdrawal)
+
+    def test_stale_message_from_closed_session_ignored(self, harness):
+        engine, speaker, _ = harness
+        speaker.on_session_down(1)
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        assert speaker.best is None
+
+
+class TestWithdrawalHandling:
+    def test_withdrawal_clears_route(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        speaker.on_message(1, Withdrawal())
+        engine.run()
+        assert speaker.best is None
+        assert isinstance(inboxes[3][-1], Withdrawal)
+
+    def test_withdrawal_is_not_mrai_paced(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        t_before = engine.now
+        speaker.on_message(1, Withdrawal())
+        engine.run()
+        # Withdrawal forwarded without waiting for the 5s MRAI.
+        assert engine.now - t_before < 1.0
+
+
+class TestSessionEvents:
+    def test_session_down_withdraws_learned_route(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        speaker.on_session_down(1)
+        engine.run()
+        assert speaker.best is None
+        assert isinstance(inboxes[3][-1], Withdrawal)
+
+    def test_session_up_re_advertises(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.originate()
+        engine.run()
+        speaker.on_session_down(3)
+        engine.run()
+        inboxes[3].clear()
+        speaker.on_session_up(3)
+        engine.run()
+        assert [m.path for m in inboxes[3]] == [(2,)]
+
+
+class TestETPropagation:
+    def test_loss_triggered_update_carries_et0(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        speaker.on_message(3, Announcement(path=(3, 8, 9)))
+        engine.run()
+        # Losing the customer route switches to the provider route;
+        # the triggered export to customer 1 must carry ET=0.
+        speaker.on_message(1, Withdrawal())
+        engine.run()
+        last = inboxes[1][-1]
+        assert isinstance(last, Announcement)
+        assert last.path == (2, 3, 8, 9)
+        assert last.et is EventType.LOSS
+
+    def test_gain_triggered_update_carries_et1(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9), et=EventType.NO_LOSS))
+        engine.run()
+        assert inboxes[3][-1].et is EventType.NO_LOSS
+
+
+class TestMRAICoalescing:
+    def test_rapid_changes_collapse_to_latest(self, harness):
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        # Three quick improvements within one MRAI window.
+        speaker.on_message(1, Announcement(path=(1, 8, 9)))
+        speaker.on_message(1, Announcement(path=(1, 7, 9)))
+        speaker.on_message(1, Announcement(path=(1, 6, 9)))
+        engine.run()
+        paths = [m.path for m in inboxes[3] if isinstance(m, Announcement)]
+        # First announcement immediate, then exactly one coalesced one.
+        assert paths[0] == (2, 1, 9)
+        assert paths[-1] == (2, 1, 6, 9)
+        assert len(paths) == 2

@@ -1,0 +1,112 @@
+"""End-to-end tests of the experiment runner and figure generators.
+
+These use a deliberately tiny topology so each test runs in seconds;
+the real figure-scale runs live under ``benchmarks/``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import (
+    fig1_phi_cdf,
+    fig2_single_link_failure,
+    sec61_intelligent_selection,
+    sec63_partial_deployment,
+)
+from repro.experiments.runner import (
+    ExperimentConfig,
+    PROTOCOLS,
+    build_network,
+    run_scenario,
+)
+from repro.experiments.scenarios import (
+    link_recovery,
+    single_provider_link_failure,
+)
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+TINY = InternetTopologyConfig(seed=5, n_tier1=3, n_tier2=8, n_tier3=16, n_stub=35)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    graph, _ = generate_internet_topology(TINY)
+    return graph
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_each_protocol_runs_and_reports(self, tiny_graph, protocol):
+        scenario = single_provider_link_failure(tiny_graph, random.Random(1))
+        run = run_scenario(tiny_graph, scenario, protocol, seed=2)
+        assert run.protocol == protocol
+        assert run.convergence_time >= 0
+        assert run.initial_updates > 0
+        assert run.report.eligible
+
+    def test_unknown_protocol_rejected(self, tiny_graph):
+        scenario = single_provider_link_failure(tiny_graph, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            run_scenario(tiny_graph, scenario, "ebgp-turbo", seed=2)
+
+    def test_recovery_scenario_is_clean_for_bgp(self, tiny_graph):
+        """Lemma 3.1: route addition events cause no transient problems."""
+        scenario = link_recovery(tiny_graph, random.Random(4))
+        run = run_scenario(tiny_graph, scenario, "bgp", seed=3)
+        assert run.affected == 0
+
+    def test_same_seed_reproduces_exactly(self, tiny_graph):
+        scenario = single_provider_link_failure(tiny_graph, random.Random(1))
+        a = run_scenario(tiny_graph, scenario, "stamp", seed=9)
+        b = run_scenario(tiny_graph, scenario, "stamp", seed=9)
+        assert a.affected == b.affected
+        assert a.convergence_time == b.convergence_time
+        assert a.updates == b.updates
+
+    def test_stamp_not_worse_than_bgp_on_average(self, tiny_graph):
+        totals = {"bgp": 0, "stamp": 0}
+        for i in range(4):
+            scenario = single_provider_link_failure(tiny_graph, random.Random(i))
+            for protocol in totals:
+                totals[protocol] += run_scenario(
+                    tiny_graph, scenario, protocol, seed=i
+                ).affected
+        assert totals["stamp"] <= totals["bgp"]
+
+
+class TestFigureFunctions:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ExperimentConfig(seed=2, topology=TINY, n_instances=2)
+
+    def test_fig1(self, config):
+        data = fig1_phi_cdf(config)
+        assert 0 <= data.mean_phi <= 1
+        assert len(data.results) == TINY.total_ases
+
+    def test_fig2(self, config):
+        data = fig2_single_link_failure(config)
+        means = data.mean_affected()
+        assert set(means) == set(PROTOCOLS)
+        assert all(v >= 0 for v in means.values())
+        # Each protocol ran the configured number of instances.
+        assert all(len(runs) == 2 for runs in data.runs.values())
+
+    def test_sec61(self, config):
+        data = sec61_intelligent_selection(config)
+        assert data.mean_phi_intelligent >= data.mean_phi_random - 1e-9
+
+    def test_sec63_deployment(self, config):
+        data = sec63_partial_deployment(config, trials=4)
+        assert 0 <= data.tier1_only_fraction <= data.full_deployment_fraction <= 1
+
+
+class TestBuildNetwork:
+    def test_stamp_intelligent_uses_intelligent_selector(self, tiny_graph):
+        from repro.stamp.coloring import IntelligentBlueSelector
+
+        dest = next(a for a in tiny_graph.ases if tiny_graph.is_multihomed(a))
+        network, _ = build_network("stamp-intelligent", tiny_graph, dest, seed=0)
+        assert isinstance(network.selector, IntelligentBlueSelector)

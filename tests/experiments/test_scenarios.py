@@ -1,0 +1,91 @@
+"""Tests for failure-scenario builders."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    link_recovery,
+    provider_node_failure,
+    single_provider_link_failure,
+    two_link_failures_distinct_as,
+    two_link_failures_same_as,
+)
+from repro.topology.generators import chain_topology, example_paper_topology
+from repro.types import normalize_link
+
+
+@pytest.fixture
+def graph():
+    return example_paper_topology()
+
+
+class TestSingleLink:
+    def test_fails_one_provider_link_of_a_multihomed_dest(self, graph, rng):
+        scenario = single_provider_link_failure(graph, rng)
+        assert graph.is_multihomed(scenario.destination)
+        ((a, b),) = scenario.failed_links
+        assert a == scenario.destination
+        assert b in graph.providers(a)
+
+    def test_deterministic_per_rng(self, graph):
+        a = single_provider_link_failure(graph, random.Random("x"))
+        b = single_provider_link_failure(graph, random.Random("x"))
+        assert a == b
+
+    def test_raises_without_multihomed_ases(self):
+        graph = chain_topology(3)
+        with pytest.raises(ConfigurationError):
+            single_provider_link_failure(graph, random.Random(0))
+
+
+class TestTwoLinksDistinct:
+    def test_second_link_is_multi_hop_away(self, graph, rng):
+        for _ in range(20):
+            scenario = two_link_failures_distinct_as(graph, rng)
+            if len(scenario.failed_links) < 2:
+                continue
+            first, second = scenario.failed_links
+            nearby = {scenario.destination, *graph.providers(scenario.destination)}
+            assert second[0] not in nearby
+            assert second[1] not in nearby
+
+    def test_second_link_is_in_uphill_cone(self, graph, rng):
+        from repro.experiments.scenarios import _uphill_cone
+
+        for _ in range(20):
+            scenario = two_link_failures_distinct_as(graph, rng)
+            if len(scenario.failed_links) < 2:
+                continue
+            cone = _uphill_cone(graph, scenario.destination)
+            assert scenario.failed_links[1][0] in cone
+
+
+class TestTwoLinksSameAS:
+    def test_both_links_touch_the_same_provider(self, graph, rng):
+        for _ in range(10):
+            scenario = two_link_failures_same_as(graph, rng)
+            if len(scenario.failed_links) < 2:
+                continue
+            first, second = scenario.failed_links
+            shared = set(first) & set(second)
+            assert shared, scenario
+            provider = shared.pop()
+            assert provider in graph.providers(scenario.destination)
+
+
+class TestNodeFailure:
+    def test_fails_a_direct_provider(self, graph, rng):
+        scenario = provider_node_failure(graph, rng)
+        (failed,) = scenario.failed_ases
+        assert failed in graph.providers(scenario.destination)
+
+
+class TestRecovery:
+    def test_recovery_lists_restored_link(self, graph, rng):
+        scenario = link_recovery(graph, rng)
+        assert scenario.failed_links == ()
+        ((a, b),) = scenario.restored_links
+        assert a == scenario.destination
+        assert b in graph.providers(a)

@@ -1,0 +1,125 @@
+"""Unit tests for the R-BGP data plane (pinned failover, RCI rules)."""
+
+import pytest
+
+from repro.forwarding.rbgp_plane import FAILOVER, PRIMARY, RBGPDataPlane
+from repro.topology.graph import ASGraph
+from repro.types import Outcome
+
+
+@pytest.fixture
+def graph():
+    """1 -> 2 -> 9 chain plus alternate 1 -> 3 -> 9."""
+    g = ASGraph()
+    g.add_c2p(9, 2)
+    g.add_c2p(9, 3)
+    g.add_c2p(2, 1)
+    g.add_c2p(3, 1)
+    return g
+
+
+def state_of(primaries, failovers=None):
+    state = {}
+    for asn, path in primaries.items():
+        state[(asn, PRIMARY)] = path
+    for asn, entries in (failovers or {}).items():
+        state[(asn, FAILOVER)] = tuple(entries)
+    return state
+
+
+class TestPrimaryForwarding:
+    def test_chain_delivery(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        state = state_of({1: (2, 9), 2: (9,), 9: ()})
+        assert plane.classify(state, [1])[1] is Outcome.DELIVERED
+
+    def test_no_route_no_failover_blackholes(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        state = state_of({1: None})
+        assert plane.classify(state, [1])[1] is Outcome.BLACKHOLE
+
+
+class TestFailoverDivert:
+    def test_divert_onto_intact_entry(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        # 2's link to 9 failed; 1 advertised failover (1, 3, 9) to 2.
+        state = state_of(
+            {1: (2, 9), 2: (9,), 9: ()},
+            {2: [(1, (1, 3, 9))]},
+        )
+        outcomes = plane.classify(state, [1, 2], failed_links=frozenset({(2, 9)}))
+        assert outcomes[2] is Outcome.DELIVERED
+        assert outcomes[1] is Outcome.DELIVERED
+
+    def test_rci_skips_broken_entry_and_uses_next(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        state = state_of(
+            {2: (9,), 9: ()},
+            {2: [(0, (0, 5, 9)), (1, (1, 3, 9))]},
+        )
+        outcomes = plane.classify(
+            state, [2], failed_links=frozenset({(2, 9), (5, 9)})
+        )
+        assert outcomes[2] is Outcome.DELIVERED
+
+    def test_no_rci_pins_broken_first_entry(self, graph):
+        plane = RBGPDataPlane(9, rci=False, graph=graph)
+        state = state_of(
+            {2: (9,), 9: ()},
+            {2: [(0, (0, 5, 9)), (1, (1, 3, 9))]},
+        )
+        outcomes = plane.classify(
+            state, [2], failed_links=frozenset({(2, 9), (5, 9)})
+        )
+        # Oblivious pick rides the first (broken) entry and drops.
+        assert outcomes[2] is Outcome.BLACKHOLE
+
+    def test_no_rci_remote_loss_cannot_divert(self, graph):
+        plane = RBGPDataPlane(9, rci=False, graph=graph)
+        # AS 1 lost its route remotely (no adjacent failure); it has a
+        # failover entry but may not use it without RCI.
+        state = state_of(
+            {1: None, 9: ()},
+            {1: [(4, (4, 3, 9))]},
+        )
+        outcomes = plane.classify(state, [1], failed_links=frozenset({(2, 9)}))
+        assert outcomes[1] is Outcome.BLACKHOLE
+
+    def test_no_rci_local_detector_may_divert(self, graph):
+        plane = RBGPDataPlane(9, rci=False, graph=graph)
+        state = state_of(
+            {2: None, 9: ()},
+            {2: [(1, (1, 3, 9))]},
+        )
+        outcomes = plane.classify(state, [2], failed_links=frozenset({(2, 9)}))
+        assert outcomes[2] is Outcome.DELIVERED
+
+    def test_rci_remote_loss_diverts(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        state = state_of(
+            {1: None, 9: ()},
+            {1: [(4, (4, 3, 9))]},
+        )
+        outcomes = plane.classify(state, [1], failed_links=frozenset({(2, 9)}))
+        assert outcomes[1] is Outcome.DELIVERED
+
+    def test_bounce_back_through_upstream(self, graph):
+        plane = RBGPDataPlane(9, rci=True, graph=graph)
+        # The packet bounces from 2 back to upstream 1, then rides 1's
+        # alternate (1, 3, 9) pinned to the destination.
+        state = state_of(
+            {2: (9,), 3: (9,), 9: ()},
+            {2: [(1, (1, 3, 9))]},
+        )
+        outcomes = plane.classify(state, [2], failed_links=frozenset({(2, 9)}))
+        assert outcomes[2] is Outcome.DELIVERED
+
+    def test_divert_happens_only_once(self, graph):
+        plane = RBGPDataPlane(9, rci=False, graph=graph)
+        # Pinned path itself ends nowhere near the destination.
+        state = state_of(
+            {2: (9,), 9: ()},
+            {2: [(1, (1, 3))]},
+        )
+        outcomes = plane.classify(state, [2], failed_links=frozenset({(2, 9)}))
+        assert outcomes[2] is Outcome.BLACKHOLE

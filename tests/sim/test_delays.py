@@ -1,0 +1,38 @@
+"""Unit tests for delay models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.delays import FixedDelay, UniformDelay
+
+
+class TestUniformDelay:
+    def test_samples_stay_in_bounds(self):
+        delay = UniformDelay(0.010, 0.020)
+        rng = random.Random(1)
+        for _ in range(200):
+            sample = delay.sample(rng)
+            assert 0.010 <= sample <= 0.020
+
+    def test_paper_default_bounds(self):
+        delay = UniformDelay()
+        assert delay.low == 0.010
+        assert delay.high == 0.020
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(0.02, 0.01)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(-0.01, 0.01)
+
+
+class TestFixedDelay:
+    def test_constant(self):
+        delay = FixedDelay(0.5)
+        assert delay.sample(random.Random(0)) == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedDelay(-1.0)

@@ -1,0 +1,118 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.schedule(2.0, lambda: log.append("late"))
+        engine.schedule(1.0, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        engine = Engine()
+        log = []
+        for name in ("a", "b", "c"):
+            engine.schedule(1.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [1.5]
+        assert engine.now == 1.5
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.schedule(0.5, lambda: log.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert log == ["first", "second"]
+        assert engine.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        log = []
+        handle = engine.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        engine.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        engine.run()
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending() == 1
+
+
+class TestRunLimits:
+    def test_until_stops_the_clock(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append(1))
+        engine.schedule(5.0, lambda: log.append(5))
+        engine.run(until=2.0)
+        assert log == [1]
+        assert engine.now == 2.0
+        engine.run()
+        assert log == [1, 5]
+
+    def test_max_events_raises_when_exceeded(self):
+        engine = Engine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=10)
+
+    def test_run_returns_executed_count(self):
+        engine = Engine()
+        for _ in range(3):
+            engine.schedule(1.0, lambda: None)
+        assert engine.run() == 3
+        assert engine.events_processed == 3
+
+
+class TestDeterminism:
+    def test_rng_is_seeded(self):
+        a = Engine(seed=42).rng.random()
+        b = Engine(seed=42).rng.random()
+        assert a == b

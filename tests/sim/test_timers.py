@@ -1,0 +1,114 @@
+"""Unit tests for MRAI pacing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.timers import MRAIConfig, MRAIPacer
+
+
+@pytest.fixture
+def pacer_setup():
+    engine = Engine(seed=1)
+    sent = []
+    config = MRAIConfig(base=10.0, jitter_low=1.0, jitter_high=1.0)
+    pacer = MRAIPacer(engine, config, flush=lambda peer: sent.append((engine.now, peer)))
+    return engine, pacer, sent
+
+
+class TestMRAIConfig:
+    def test_paper_defaults(self):
+        config = MRAIConfig()
+        assert config.base == 30.0
+        assert config.jitter_low == 0.75
+        assert config.jitter_high == 1.0
+        assert not config.applies_to_withdrawals
+
+    def test_invalid_base(self):
+        with pytest.raises(ConfigurationError):
+            MRAIConfig(base=-1.0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ConfigurationError):
+            MRAIConfig(jitter_low=0.9, jitter_high=0.5)
+
+
+class TestPacing:
+    def test_first_send_is_immediate(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        assert sent == [(0.0, 7)]
+
+    def test_second_send_waits_for_interval(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        pacer.request_send(7)
+        assert len(sent) == 1
+        engine.run()
+        assert sent == [(0.0, 7), (10.0, 7)]
+
+    def test_requests_coalesce(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        for _ in range(5):
+            pacer.request_send(7)
+        engine.run()
+        assert len(sent) == 2  # first immediate + one coalesced flush
+
+    def test_withdrawal_bypasses_mrai(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        pacer.request_send(7, is_withdrawal=True)
+        assert len(sent) == 2  # withdrawal went out immediately
+
+    def test_withdrawal_does_not_restart_timer(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)                      # t=0, next allowed t=10
+        pacer.request_send(7, is_withdrawal=True)  # immediate
+        pacer.request_send(7)                      # waits until t=10
+        engine.run()
+        assert sent[-1] == (10.0, 7)
+
+    def test_peers_are_independent(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(1)
+        pacer.request_send(2)
+        assert len(sent) == 2
+
+    def test_interval_is_fixed_per_peer(self):
+        engine = Engine(seed=3)
+        config = MRAIConfig(base=30.0)
+        pacer = MRAIPacer(engine, config, flush=lambda peer: None)
+        first = pacer.interval_for(9)
+        assert pacer.interval_for(9) == first
+        assert 30.0 * 0.75 <= first <= 30.0
+
+    def test_cancel_drops_armed_timer(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        pacer.request_send(7)  # arms timer
+        pacer.cancel(7)
+        engine.run()
+        assert len(sent) == 1
+
+    def test_after_interval_send_is_immediate_again(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.request_send(7)
+        engine.run()
+        engine.schedule(20.0, lambda: pacer.request_send(7))
+        engine.run()
+        assert sent[-1] == (20.0, 7)
+
+
+class TestWithdrawalRateLimiting:
+    def test_wrate_mode_paces_withdrawals(self):
+        engine = Engine(seed=1)
+        sent = []
+        config = MRAIConfig(base=10.0, jitter_low=1.0, jitter_high=1.0,
+                            applies_to_withdrawals=True)
+        pacer = MRAIPacer(engine, config, flush=lambda p: sent.append(engine.now))
+        pacer.request_send(7)
+        pacer.request_send(7, is_withdrawal=True)
+        assert len(sent) == 1
+        engine.run()
+        assert sent == [0.0, 10.0]

@@ -1,0 +1,47 @@
+"""Unit tests for forwarding-change tracing and replay."""
+
+from repro.sim.tracing import ForwardingTrace
+
+
+class TestRecording:
+    def test_record_and_distinct_times(self):
+        trace = ForwardingTrace()
+        trace.record(1.0, 10, None, (20,))
+        trace.record(1.0, 11, None, (20,))
+        trace.record(2.0, 10, None, None)
+        assert trace.distinct_times() == [1.0, 2.0]
+
+    def test_clear(self):
+        trace = ForwardingTrace()
+        trace.record(1.0, 10, None, (20,))
+        trace.clear()
+        assert trace.changes == []
+
+
+class TestReplay:
+    def test_changes_grouped_by_time(self):
+        trace = ForwardingTrace()
+        trace.record(1.0, 10, None, "a")
+        trace.record(1.0, 11, None, "b")
+        trace.record(2.0, 10, None, "c")
+        snapshots = []
+        for time, state in trace.replay({(10, None): None, (11, None): None}):
+            snapshots.append((time, state[(10, None)], state[(11, None)]))
+        assert snapshots == [(1.0, "a", "b"), (2.0, "c", "b")]
+
+    def test_initial_state_not_mutated_by_caller_copy(self):
+        trace = ForwardingTrace()
+        trace.record(1.0, 10, None, "new")
+        initial = {(10, None): "old"}
+        list(trace.replay(initial))
+        assert initial == {(10, None): "old"}
+
+    def test_keys_can_be_rich(self):
+        trace = ForwardingTrace()
+        trace.record(1.0, 10, ("unstable", "red"), True)
+        _, state = next(iter(trace.replay({})))
+        assert state[(10, ("unstable", "red"))] is True
+
+    def test_empty_trace_yields_nothing(self):
+        trace = ForwardingTrace()
+        assert list(trace.replay({})) == []

@@ -1,0 +1,138 @@
+"""Unit tests for the FIFO transport with link failures."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.delays import FixedDelay, UniformDelay
+from repro.sim.engine import Engine
+from repro.sim.transport import Transport
+
+
+@pytest.fixture
+def setup():
+    engine = Engine(seed=0)
+    transport = Transport(engine, UniformDelay(0.01, 0.02))
+    return engine, transport
+
+
+class TestDelivery:
+    def test_message_arrives(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda src, msg: inbox.append((src, msg)))
+        transport.send(1, 2, "hello")
+        engine.run()
+        assert inbox == [(1, "hello")]
+
+    def test_fifo_order_preserved(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda src, msg: inbox.append(msg))
+        for i in range(50):
+            transport.send(1, 2, i)
+        engine.run()
+        assert inbox == list(range(50))
+
+    def test_independent_channels_per_direction(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(1, lambda src, msg: inbox.append((1, msg)))
+        transport.register_receiver(2, lambda src, msg: inbox.append((2, msg)))
+        transport.send(1, 2, "a")
+        transport.send(2, 1, "b")
+        engine.run()
+        assert len(inbox) == 2
+
+    def test_tagged_sessions_are_separate(self, setup):
+        engine, transport = setup
+        red, blue = [], []
+        transport.register_receiver(2, lambda src, msg: red.append(msg), tag="red")
+        transport.register_receiver(2, lambda src, msg: blue.append(msg), tag="blue")
+        transport.send(1, 2, "r", tag="red")
+        transport.send(1, 2, "b", tag="blue")
+        engine.run()
+        assert red == ["r"]
+        assert blue == ["b"]
+
+    def test_missing_receiver_raises(self, setup):
+        engine, transport = setup
+        transport.send(1, 2, "x")
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_duplicate_receiver_rejected(self, setup):
+        _, transport = setup
+        transport.register_receiver(2, lambda s, m: None)
+        with pytest.raises(SimulationError):
+            transport.register_receiver(2, lambda s, m: None)
+
+    def test_counters(self, setup):
+        engine, transport = setup
+        transport.register_receiver(2, lambda s, m: None)
+        transport.send(1, 2, "x")
+        engine.run()
+        assert transport.messages_sent == 1
+        assert transport.messages_delivered == 1
+        assert transport.messages_lost == 0
+
+
+class TestFailures:
+    def test_send_on_failed_link_is_lost(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda s, m: inbox.append(m))
+        transport.fail_link(1, 2)
+        transport.send(1, 2, "x")
+        engine.run()
+        assert inbox == []
+        assert transport.messages_lost == 1
+
+    def test_in_flight_message_lost_on_failure(self):
+        engine = Engine(seed=0)
+        transport = Transport(engine, FixedDelay(1.0))
+        inbox = []
+        transport.register_receiver(2, lambda s, m: inbox.append(m))
+        transport.send(1, 2, "x")
+        engine.schedule(0.5, lambda: transport.fail_link(1, 2))
+        engine.run()
+        assert inbox == []
+
+    def test_both_endpoints_notified(self, setup):
+        _, transport = setup
+        down = []
+        transport.register_session_down_listener(1, lambda peer: down.append((1, peer)))
+        transport.register_session_down_listener(2, lambda peer: down.append((2, peer)))
+        transport.fail_link(1, 2)
+        assert set(down) == {(1, 2), (2, 1)}
+
+    def test_double_failure_notifies_once(self, setup):
+        _, transport = setup
+        down = []
+        transport.register_session_down_listener(1, lambda peer: down.append(peer))
+        transport.fail_link(1, 2)
+        transport.fail_link(2, 1)
+        assert down == [2]
+
+    def test_restore_link(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda s, m: inbox.append(m))
+        transport.fail_link(1, 2)
+        transport.restore_link(1, 2)
+        transport.send(1, 2, "x")
+        engine.run()
+        assert inbox == ["x"]
+
+    def test_fail_as_notifies_neighbors(self, setup):
+        _, transport = setup
+        down = []
+        transport.register_session_down_listener(2, lambda peer: down.append(peer))
+        transport.register_session_down_listener(3, lambda peer: down.append(peer))
+        transport.fail_as(1, neighbors=[2, 3])
+        assert down == [1, 1]
+        assert not transport.as_is_up(1)
+
+    def test_failed_as_blocks_links(self, setup):
+        _, transport = setup
+        transport.fail_as(1, neighbors=[])
+        assert not transport.link_is_up(1, 2)

@@ -1,0 +1,71 @@
+"""Tests for locked-blue-provider selection strategies."""
+
+import random
+
+from repro.stamp.coloring import IntelligentBlueSelector, RandomBlueSelector
+from repro.topology.graph import ASGraph
+
+
+def bottleneck_graph():
+    """Provider 2 leads into a bottleneck; provider 3 is clean."""
+    graph = ASGraph()
+    graph.add_c2p(1, 2)
+    graph.add_c2p(1, 3)
+    graph.add_c2p(2, 6)
+    graph.add_c2p(6, 7)
+    graph.add_c2p(3, 8)
+    graph.add_p2p(7, 8)
+    return graph
+
+
+class TestRandomSelector:
+    def test_choice_is_among_providers(self):
+        selector = RandomBlueSelector()
+        rng = random.Random(0)
+        for _ in range(20):
+            assert selector.select(1, [2, 3], is_origin=True, rng=rng) in (2, 3)
+
+    def test_uses_provided_rng(self):
+        selector = RandomBlueSelector()
+        a = selector.select(1, [2, 3, 4], is_origin=False, rng=random.Random(7))
+        b = selector.select(1, [2, 3, 4], is_origin=False, rng=random.Random(7))
+        assert a == b
+
+
+class TestIntelligentSelector:
+    def test_origin_picks_clean_provider(self):
+        graph = bottleneck_graph()
+        selector = IntelligentBlueSelector(graph)
+        rng = random.Random(0)
+        # Locking via 3 leaves the 2-side free for red: best choice.
+        # (Both sides are symmetric in goodness here only if the
+        # bottleneck does not matter; verify against phi directly.)
+        from repro.analysis.phi import best_blue_provider
+
+        expected = best_blue_provider(graph, 1)
+        assert selector.select(1, [2, 3], is_origin=True, rng=rng) == expected
+
+    def test_non_origin_falls_back_to_random(self):
+        graph = bottleneck_graph()
+        selector = IntelligentBlueSelector(graph)
+        picks = {
+            selector.select(6, [7], is_origin=False, rng=random.Random(i))
+            for i in range(5)
+        }
+        assert picks == {7}
+
+    def test_choice_restricted_to_live_providers(self):
+        graph = bottleneck_graph()
+        selector = IntelligentBlueSelector(graph)
+        # If the statically-best provider is not offered (session down),
+        # the selector must pick among the live ones.
+        pick = selector.select(1, [2], is_origin=True, rng=random.Random(0))
+        assert pick == 2
+
+    def test_cache_is_stable(self):
+        graph = bottleneck_graph()
+        selector = IntelligentBlueSelector(graph)
+        rng = random.Random(0)
+        first = selector.select(1, [2, 3], is_origin=True, rng=rng)
+        second = selector.select(1, [2, 3], is_origin=True, rng=rng)
+        assert first == second

@@ -1,0 +1,129 @@
+"""Unit tests for STAMP node coordination (selective announcement)."""
+
+import pytest
+
+from repro.bgp.speaker import SpeakerConfig
+from repro.sim.delays import FixedDelay
+from repro.sim.engine import Engine
+from repro.sim.timers import MRAIConfig
+from repro.sim.transport import Transport
+from repro.stamp.coloring import RandomBlueSelector
+from repro.stamp.node import STAMPNode
+from repro.topology.graph import ASGraph
+from repro.types import Color
+
+
+def build_node(graph, asn, *, permissive=False, seed=0):
+    engine = Engine(seed=seed)
+    transport = Transport(engine, FixedDelay(0.01))
+    # Register sinks for all the node's neighbors so exports can flow.
+    for nbr in graph.neighbors(asn):
+        transport.register_receiver(nbr, lambda s, m: None, tag=Color.RED)
+        transport.register_receiver(nbr, lambda s, m: None, tag=Color.BLUE)
+    node = STAMPNode(
+        asn,
+        graph,
+        engine,
+        transport,
+        speaker_config=SpeakerConfig(mrai=MRAIConfig(base=1.0)),
+        selector=RandomBlueSelector(),
+        permissive_blue=permissive,
+    )
+    return engine, node
+
+
+@pytest.fixture
+def multihomed_graph():
+    """AS 1 with providers 2 and 3 (who have provider 4)."""
+    graph = ASGraph()
+    graph.add_c2p(1, 2)
+    graph.add_c2p(1, 3)
+    graph.add_c2p(2, 4)
+    graph.add_c2p(3, 4)
+    return graph
+
+
+@pytest.fixture
+def singlehomed_graph():
+    graph = ASGraph()
+    graph.add_c2p(1, 2)
+    graph.add_c2p(2, 3)
+    return graph
+
+
+class TestOriginColoring:
+    def test_origin_splits_colors_between_providers(self, multihomed_graph):
+        engine, node = build_node(multihomed_graph, 1)
+        node.originate()
+        engine.run()
+        target = node.locked_blue_provider
+        assert target in (2, 3)
+        other = 3 if target == 2 else 2
+        blue_export = node.blue.export_for(target)
+        assert blue_export is not None and blue_export[1] is True  # locked
+        assert node.blue.export_for(other) is None
+        red_export = node.red.export_for(other)
+        assert red_export is not None and red_export[1] is False
+        assert node.red.export_for(target) is None
+
+    def test_single_homed_origin_sends_both_colors(self, singlehomed_graph):
+        engine, node = build_node(singlehomed_graph, 1)
+        node.originate()
+        engine.run()
+        blue_export = node.blue.export_for(2)
+        red_export = node.red.export_for(2)
+        assert blue_export is not None and blue_export[1] is True
+        assert red_export is not None and red_export[1] is False
+
+    def test_locked_target_stable_across_updates(self, multihomed_graph):
+        engine, node = build_node(multihomed_graph, 1)
+        node.originate()
+        engine.run()
+        first = node.locked_blue_provider
+        node._refresh_providers  # no-op access; now trigger refresh
+        node._refresh_providers(__import__("repro.types", fromlist=["EventType"]).EventType.NO_LOSS)
+        assert node.locked_blue_provider == first
+
+    def test_lock_moves_to_survivor_after_failure(self, multihomed_graph):
+        engine, node = build_node(multihomed_graph, 1)
+        node.originate()
+        engine.run()
+        target = node.locked_blue_provider
+        survivor = 3 if target == 2 else 2
+        node.on_session_down(target)
+        engine.run()
+        # Now effectively single-homed: the survivor gets both colors,
+        # blue still carrying the Lock.
+        blue_export = node.blue.export_for(survivor)
+        assert blue_export is not None and blue_export[1] is True
+        red_export = node.red.export_for(survivor)
+        assert red_export is not None
+
+
+class TestInstabilityFlags:
+    def test_flags_start_clear(self, multihomed_graph):
+        _, node = build_node(multihomed_graph, 1)
+        assert not node.unstable[Color.RED]
+        assert not node.unstable[Color.BLUE]
+
+    def test_loss_sets_flag_and_clear_resets(self, multihomed_graph):
+        from repro.bgp.messages import Announcement, Withdrawal
+
+        engine, node = build_node(multihomed_graph, 1)
+        node.red.on_message(2, Announcement(path=(2, 9)))
+        engine.run()
+        node.red.on_message(2, Withdrawal())
+        engine.run()
+        assert node.unstable[Color.RED]
+        assert not node.unstable[Color.BLUE]
+        node.clear_instability()
+        assert not node.unstable[Color.RED]
+
+
+class TestForwardingState:
+    def test_state_contains_both_colors_and_flags(self, multihomed_graph):
+        _, node = build_node(multihomed_graph, 1)
+        state = node.forwarding_state()
+        assert (1, Color.RED) in state
+        assert (1, Color.BLUE) in state
+        assert (1, ("unstable", Color.RED)) in state

@@ -1,0 +1,50 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_default_scale_arguments(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.instances == 10
+        assert args.tier1 == 8
+
+
+TINY = [
+    "--tier1", "3", "--tier2", "6", "--tier3", "10", "--stubs", "20",
+    "--instances", "1",
+]
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(TINY + ["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean Phi" in out
+
+    def test_fig2(self, capsys):
+        assert main(TINY + ["fig2"]) == 0
+        assert "STAMP" in capsys.readouterr().out
+
+    def test_intelligent(self, capsys):
+        assert main(TINY + ["intelligent"]) == 0
+        assert "intelligent" in capsys.readouterr().out
+
+    def test_deployment(self, capsys):
+        assert main(TINY + ["deployment"]) == 0
+        assert "tier-1" in capsys.readouterr().out
+
+    def test_topology_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "graph.txt"
+        assert main(TINY + ["topology", "--out", str(out)]) == 0
+        assert out.exists()
+        from repro.topology.serialization import load_graph
+
+        graph = load_graph(out)
+        assert len(graph) == 39

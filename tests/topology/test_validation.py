@@ -1,0 +1,45 @@
+"""Tests for topology validation."""
+
+from repro.topology.generators import example_paper_topology
+from repro.topology.graph import ASGraph
+from repro.topology.validation import validate_graph
+
+
+class TestValidation:
+    def test_good_graph_is_ok(self):
+        report = validate_graph(example_paper_topology())
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_unpeered_tier1s_flagged(self):
+        graph = ASGraph()
+        graph.add_c2p(1, 2)
+        graph.add_c2p(1, 3)  # two tier-1s (2, 3) without peering
+        report = validate_graph(graph)
+        assert not report.tier1_core_peered
+        assert (2, 3) in report.unpeered_tier1_pairs
+        assert not report.ok
+
+    def test_isolated_as_flagged(self):
+        graph = ASGraph()
+        graph.add_c2p(1, 2)
+        graph.add_as(99)
+        report = validate_graph(graph)
+        assert report.isolated_ases == [99]
+        assert not report.ok
+
+    def test_cyclic_hierarchy_flagged(self):
+        graph = ASGraph()
+        graph.add_c2p(1, 2)
+        graph.add_c2p(2, 3)
+        graph.add_c2p(3, 1)
+        report = validate_graph(graph)
+        assert not report.acyclic
+        assert not report.ok
+        assert "cyclic" in report.summary()
+
+    def test_single_as_graph_ok(self):
+        graph = ASGraph()
+        graph.add_as(1)
+        report = validate_graph(graph)
+        assert report.ok
