@@ -1,0 +1,249 @@
+"""Hot-path performance benchmarks (the repo's perf-regression suite).
+
+Microbenchmarks for the four optimized layers — topology queries, the
+BGP decision process, Φ analysis, transient-problem analysis — plus the
+end-to-end Figure 2 experiment at topology scale 1.0 and 2.0.  Every
+run writes ``BENCH_perf.json`` (machine-readable trajectory point) to
+the working directory, so CI can archive one artifact per commit and
+regressions show up as a broken series.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_INSTANCES`` — instances for the end-to-end benches
+  (default 6, the acceptance-criteria setting).
+* ``REPRO_BENCH_SMOKE=1`` — shrink the end-to-end benches to a single
+  instance for fast CI smoke runs.
+
+Reference trajectory (this machine, 2026-07, default ~620-AS graph):
+the pre-optimization seed ran ``fig2 scale=1.0 x6`` in ~32 s and
+``phi_distribution`` in ~80 ms; the optimized tree runs them in ~3.5 s
+(9x) and ~14 ms (5.8x).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.phi import phi_distribution
+from repro.analysis.transient import analyze_transient_problems
+from repro.bgp.decision import best_route
+from repro.experiments.figures import fig2_single_link_failure
+from repro.experiments.runner import ExperimentConfig, build_network
+from repro.experiments.scenarios import single_provider_link_failure
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.types import normalize_link
+
+OUTPUT_PATH = Path(os.environ.get("REPRO_BENCH_PERF_OUT", "BENCH_perf.json"))
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def _instances() -> int:
+    if _smoke():
+        return 1
+    return int(os.environ.get("REPRO_BENCH_INSTANCES", "6"))
+
+
+def _scaled_topology(scale: float) -> InternetTopologyConfig:
+    base = InternetTopologyConfig()
+    if scale == 1.0:
+        return base
+    return InternetTopologyConfig(
+        seed=base.seed,
+        n_tier1=max(2, round(base.n_tier1 * min(scale, 2.0))),
+        n_tier2=round(base.n_tier2 * scale),
+        n_tier3=round(base.n_tier3 * scale),
+        n_stub=round(base.n_stub * scale),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    graph, _ = generate_internet_topology(InternetTopologyConfig())
+    return graph
+
+
+@pytest.fixture(scope="session")
+def perf_records():
+    """Collects per-bench timings; writes BENCH_perf.json at session end."""
+    records: dict = {}
+    yield records
+    if not records:
+        return
+    payload = {
+        "meta": {
+            "suite": "bench_perf_micro",
+            "instances": _instances(),
+            "smoke": _smoke(),
+            "python": sys.version.split()[0],
+            "unix_time": round(time.time(), 3),
+        },
+        "benchmarks": records,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH.resolve()}")
+
+
+def _record(perf_records, name, benchmark, **extra) -> None:
+    stats = benchmark.stats.stats
+    perf_records[name] = {
+        "mean_seconds": stats.mean,
+        "min_seconds": stats.min,
+        "rounds": stats.rounds,
+        **extra,
+    }
+
+
+# ----------------------------------------------------------------------
+# Layer 1 — topology queries
+# ----------------------------------------------------------------------
+
+
+def test_graph_adjacency_queries(benchmark, graph, perf_records):
+    """Steady-state adjacency views over every AS (the hot query mix)."""
+    ases = graph.ases
+
+    def run():
+        total = 0
+        for asn in ases:
+            total += len(graph.providers(asn))
+            total += len(graph.neighbors(asn))
+            total += graph.is_tier1(asn)
+            total += graph.is_multihomed(asn)
+            total += graph.degree(asn)
+        return total
+
+    result = benchmark(run)
+    assert result > 0
+    _record(perf_records, "graph_adjacency_queries", benchmark, ases=len(ases))
+
+
+def test_graph_cold_view_rebuild(benchmark, graph, perf_records):
+    """Full view rebuild after an invalidating mutation (failure path)."""
+    a, b = graph.c2p_links()[0]
+
+    def run():
+        graph.remove_link(a, b)
+        graph.add_c2p(a, b)
+        return sum(len(graph.providers(asn)) for asn in graph.ases)
+
+    result = benchmark(run)
+    assert result > 0
+    _record(perf_records, "graph_cold_view_rebuild", benchmark)
+
+
+# ----------------------------------------------------------------------
+# Layer 2 — decision process
+# ----------------------------------------------------------------------
+
+
+def test_decision_best_route(benchmark, graph, perf_records):
+    """best_route over real converged Adj-RIB-In candidate sets."""
+    destination = graph.ases[len(graph.ases) // 2]
+    network, _ = build_network("bgp", graph, destination, seed=0)
+    network.start()
+    rib_sets = []
+    for asn, speaker in network.speakers.items():
+        routes = speaker.adj_rib_in.routes()
+        if len(routes) >= 2:
+            rib_sets.append((asn, routes, speaker.config.prefer_locked))
+    assert rib_sets
+
+    def run():
+        picked = 0
+        for asn, routes, prefer_locked in rib_sets:
+            if best_route(graph, asn, routes, prefer_locked=prefer_locked):
+                picked += 1
+        return picked
+
+    result = benchmark(run)
+    assert result > 0
+    _record(
+        perf_records, "decision_best_route", benchmark, rib_sets=len(rib_sets)
+    )
+
+
+# ----------------------------------------------------------------------
+# Layer 3 — analysis
+# ----------------------------------------------------------------------
+
+
+def test_phi_distribution_all_destinations(benchmark, graph, perf_records):
+    """Φ over every destination (Figure 1's underlying data)."""
+    results = benchmark(phi_distribution, graph)
+    assert len(results) == len(graph.ases)
+    _record(
+        perf_records,
+        "phi_distribution",
+        benchmark,
+        destinations=len(graph.ases),
+    )
+
+
+@pytest.mark.parametrize("protocol", ["bgp", "stamp"])
+def test_transient_analysis(benchmark, graph, perf_records, protocol):
+    """Trace replay + classification for one single-link-failure run."""
+    scenario = single_provider_link_failure(graph, random.Random("bench:0"))
+    network, plane = build_network(protocol, graph, scenario.destination, seed=0)
+    network.start()
+    initial_state = network.forwarding_state()
+    for a, b in scenario.failed_links:
+        network.fail_link(a, b)
+    network.run_to_convergence()
+    failed_links = frozenset(
+        normalize_link(a, b) for a, b in scenario.failed_links
+    )
+
+    report = benchmark(
+        analyze_transient_problems,
+        network.trace,
+        initial_state,
+        plane,
+        graph.ases,
+        failed_links=failed_links,
+    )
+    assert report.eligible
+    _record(
+        perf_records,
+        f"transient_analysis_{protocol}",
+        benchmark,
+        trace_changes=len(network.trace.changes),
+    )
+
+
+# ----------------------------------------------------------------------
+# End to end — Figure 2 at scale 1.0 and 2.0
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scale", [1.0, 2.0])
+def test_fig2_end_to_end(benchmark, perf_records, scale):
+    """Full Figure 2 reproduction (all four protocols, n instances)."""
+    config = ExperimentConfig(
+        seed=0, topology=_scaled_topology(scale), n_instances=_instances()
+    )
+    data = benchmark.pedantic(
+        fig2_single_link_failure, args=(config,), rounds=1, iterations=1
+    )
+    measured = data.mean_affected()
+    assert measured["bgp"] > measured["stamp"]
+    _record(
+        perf_records,
+        f"fig2_e2e_scale{scale:g}",
+        benchmark,
+        scale=scale,
+        instances=_instances(),
+        mean_affected={k: round(v, 2) for k, v in measured.items()},
+    )

@@ -24,7 +24,7 @@ with the disjoint-chain-pair set precomputed per destination.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.phi import uphill_paths_to_tier1
 from repro.topology.graph import ASGraph
@@ -77,6 +77,9 @@ def partial_deployment_fraction(
     dests = list(destinations) if destinations is not None else graph.ases
     successes = 0
     total = 0
+    # Destinations sharing a footnote-4 anchor share chain pairs; the
+    # Monte Carlo draws stay per-destination, so results are unchanged.
+    pairs_of: Dict[ASN, List[Tuple[Tuple[ASN, ...], Tuple[ASN, ...]]]] = {}
     for dest in dests:
         if graph.is_tier1(dest):
             # A tier-1 destination is reached inside the deployed core;
@@ -88,7 +91,10 @@ def partial_deployment_fraction(
         if anchor is None:
             total += trials
             continue
-        pairs = _disjoint_chain_pairs(graph, anchor, max_paths=max_paths)
+        pairs = pairs_of.get(anchor)
+        if pairs is None:
+            pairs = _disjoint_chain_pairs(graph, anchor, max_paths=max_paths)
+            pairs_of[anchor] = pairs
         if not pairs:
             total += trials
             continue
@@ -121,6 +127,7 @@ def full_deployment_fraction(
     """
     dests = list(destinations) if destinations is not None else graph.ases
     hits = 0
+    has_pair: Dict[ASN, bool] = {}
     for dest in dests:
         if graph.is_tier1(dest):
             hits += 1
@@ -128,6 +135,12 @@ def full_deployment_fraction(
         anchor = _anchor(graph, dest)
         if anchor is None:
             continue
-        if _disjoint_chain_pairs(graph, anchor, max_paths=max_paths):
+        cached = has_pair.get(anchor)
+        if cached is None:
+            cached = bool(
+                _disjoint_chain_pairs(graph, anchor, max_paths=max_paths)
+            )
+            has_pair[anchor] = cached
+        if cached:
             hits += 1
     return hits / len(dests) if dests else 0.0

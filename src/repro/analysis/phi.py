@@ -15,6 +15,14 @@ paper leaves them implicit):
   through the fully-peered core; no locked chain is needed);
 * a destination whose single-homed chain reaches a tier-1 without ever
   meeting a multi-homed AS gets Φ = 0.0 (no disjoint pair can exist).
+
+Performance: all per-anchor work runs on a single precomputed
+uphill-reachability view (restricted provider adjacency + tier-1 flags)
+instead of re-querying the graph per DFS step, and
+:func:`phi_distribution` memoizes results per anchor — footnote-4
+inheritance means hundreds of stub destinations share one anchor's
+answer.  ``_reference_*`` twins keep the brute-force implementations
+alive for equivalence tests.
 """
 
 from __future__ import annotations
@@ -44,6 +52,77 @@ class PhiResult:
     capped: bool = False
 
 
+class UphillView:
+    """Uphill-reachable subgraph of one anchor, precomputed once.
+
+    Holds the provider adjacency restricted to ASes reachable from the
+    anchor by climbing provider links, plus which of them are tier-1s.
+    Every per-path disjointness DFS then runs on plain dict/tuple
+    lookups instead of graph queries.
+    """
+
+    __slots__ = ("anchor", "providers_of", "tier1s")
+
+    def __init__(self, graph: ASGraph, anchor: ASN) -> None:
+        self.anchor = anchor
+        self.providers_of: Dict[ASN, Tuple[ASN, ...]] = {}
+        self.tier1s: Set[ASN] = set()
+        stack = [anchor]
+        while stack:
+            node = stack.pop()
+            if node in self.providers_of:
+                continue
+            providers = graph.providers(node)
+            self.providers_of[node] = providers
+            if not providers:
+                self.tier1s.add(node)
+            stack.extend(p for p in providers if p not in self.providers_of)
+
+    def uphill_paths_to_tier1(
+        self, *, max_paths: int = 100_000
+    ) -> Tuple[List[Tuple[ASN, ...]], bool]:
+        """Enumerate every provider chain from the anchor to a tier-1."""
+        if max_paths < 1:
+            raise ConfigurationError("max_paths must be positive")
+        paths: List[Tuple[ASN, ...]] = []
+        capped = False
+        providers_of = self.providers_of
+        stack: List[Tuple[ASN, Tuple[ASN, ...]]] = [(self.anchor, (self.anchor,))]
+        while stack:
+            node, path = stack.pop()
+            providers = providers_of[node]
+            if not providers:
+                paths.append(path)
+                if len(paths) >= max_paths:
+                    capped = True
+                    break
+                continue
+            # The provider hierarchy is acyclic, so no visited-set is
+            # needed within one chain.
+            for provider in reversed(providers):
+                stack.append((provider, path + (provider,)))
+        return paths, capped
+
+    def disjoint_alternative_exists(self, blocked: Set[ASN]) -> bool:
+        """Uphill reachability of a tier-1 from the anchor avoiding ``blocked``."""
+        providers_of = self.providers_of
+        tier1s = self.tier1s
+        seen: Set[ASN] = set()
+        stack = [self.anchor]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for provider in providers_of[node]:
+                if provider in blocked or provider in seen:
+                    continue
+                if provider in tier1s:
+                    return True
+                stack.append(provider)
+        return False
+
+
 def uphill_paths_to_tier1(
     graph: ASGraph, start: ASN, *, max_paths: int = 100_000
 ) -> Tuple[List[Tuple[ASN, ...]], bool]:
@@ -52,30 +131,90 @@ def uphill_paths_to_tier1(
     Returns ``(paths, capped)``; each path starts at ``start`` and ends
     at a tier-1 AS.  Enumeration stops (capped=True) at ``max_paths``.
     """
-    if max_paths < 1:
-        raise ConfigurationError("max_paths must be positive")
-    paths: List[Tuple[ASN, ...]] = []
-    capped = False
-    stack: List[Tuple[ASN, Tuple[ASN, ...]]] = [(start, (start,))]
-    while stack:
-        node, path = stack.pop()
-        if graph.is_tier1(node):
-            paths.append(path)
-            if len(paths) >= max_paths:
-                capped = True
-                break
+    return UphillView(graph, start).uphill_paths_to_tier1(max_paths=max_paths)
+
+
+def _phi_from_view(
+    view: UphillView, *, max_paths: int
+) -> Tuple[float, int, int, bool]:
+    """(phi, n_paths, n_good, capped) of one anchor's uphill view."""
+    paths, capped = view.uphill_paths_to_tier1(max_paths=max_paths)
+    if not paths:
+        return 0.0, 0, 0, capped
+    anchor = view.anchor
+    good = 0
+    for path in paths:
+        blocked = set(path)
+        blocked.discard(anchor)
+        if view.disjoint_alternative_exists(blocked):
+            good += 1
+    return good / len(paths), len(paths), good, capped
+
+
+def phi_for_destination(
+    graph: ASGraph, destination: ASN, *, max_paths: int = 100_000
+) -> PhiResult:
+    """Compute Φ for one destination AS."""
+    anchor = _phi_anchor(graph, destination)
+    if anchor is None:
+        if graph.is_tier1(destination):
+            return PhiResult(destination, 1.0, 0, 0, None)
+        return PhiResult(destination, 0.0, 0, 0, None)
+    phi, n_paths, n_good, capped = _phi_from_view(
+        UphillView(graph, anchor), max_paths=max_paths
+    )
+    return PhiResult(destination, phi, n_paths, n_good, anchor, capped)
+
+
+def _phi_anchor(graph: ASGraph, destination: ASN) -> Optional[ASN]:
+    """The multi-homed AS whose Φ the destination inherits."""
+    if graph.is_multihomed(destination):
+        return destination
+    return graph.first_multihomed_ancestor(destination)
+
+
+def phi_distribution(
+    graph: ASGraph,
+    destinations: Optional[Sequence[ASN]] = None,
+    *,
+    max_paths: int = 100_000,
+) -> List[PhiResult]:
+    """Φ for every destination (Figure 1's underlying data).
+
+    Memoized per anchor: single-homed destinations inherit their first
+    multi-homed ancestor's Φ (footnote 4), so each anchor's paths are
+    enumerated and checked exactly once however many destinations map
+    to it.
+    """
+    dests = list(destinations) if destinations is not None else graph.ases
+    by_anchor: Dict[ASN, Tuple[float, int, int, bool]] = {}
+    results: List[PhiResult] = []
+    for dest in dests:
+        anchor = _phi_anchor(graph, dest)
+        if anchor is None:
+            phi = 1.0 if graph.is_tier1(dest) else 0.0
+            results.append(PhiResult(dest, phi, 0, 0, None))
             continue
-        # The provider hierarchy is acyclic, so no visited-set is
-        # needed within one chain.
-        for provider in reversed(graph.providers(node)):
-            stack.append((provider, path + (provider,)))
-    return paths, capped
+        cached = by_anchor.get(anchor)
+        if cached is None:
+            cached = _phi_from_view(
+                UphillView(graph, anchor), max_paths=max_paths
+            )
+            by_anchor[anchor] = cached
+        phi, n_paths, n_good, capped = cached
+        results.append(PhiResult(dest, phi, n_paths, n_good, anchor, capped))
+    return results
 
 
-def _disjoint_alternative_exists(
+# ----------------------------------------------------------------------
+# Reference (brute-force) implementations — kept for equivalence tests
+# ----------------------------------------------------------------------
+
+
+def _reference_disjoint_alternative_exists(
     graph: ASGraph, start: ASN, blocked: Set[ASN]
 ) -> bool:
-    """Uphill reachability of any tier-1 from ``start`` avoiding ``blocked``."""
+    """Per-path DFS over the full graph (pre-optimization behavior)."""
     seen: Set[ASN] = set()
     stack = [start]
     while stack:
@@ -92,10 +231,10 @@ def _disjoint_alternative_exists(
     return False
 
 
-def phi_for_destination(
+def _reference_phi_for_destination(
     graph: ASGraph, destination: ASN, *, max_paths: int = 100_000
 ) -> PhiResult:
-    """Compute Φ for one destination AS."""
+    """Unmemoized, per-path-DFS Φ (pre-optimization behavior)."""
     anchor = _phi_anchor(graph, destination)
     if anchor is None:
         if graph.is_tier1(destination):
@@ -107,30 +246,24 @@ def phi_for_destination(
     good = 0
     for path in paths:
         blocked = set(path) - {anchor}
-        if _disjoint_alternative_exists(graph, anchor, blocked):
+        if _reference_disjoint_alternative_exists(graph, anchor, blocked):
             good += 1
     return PhiResult(
         destination, good / len(paths), len(paths), good, anchor, capped
     )
 
 
-def _phi_anchor(graph: ASGraph, destination: ASN) -> Optional[ASN]:
-    """The multi-homed AS whose Φ the destination inherits."""
-    if graph.is_multihomed(destination):
-        return destination
-    return graph.first_multihomed_ancestor(destination)
-
-
-def phi_distribution(
+def _reference_phi_distribution(
     graph: ASGraph,
     destinations: Optional[Sequence[ASN]] = None,
     *,
     max_paths: int = 100_000,
 ) -> List[PhiResult]:
-    """Φ for every destination (Figure 1's underlying data)."""
+    """Destination-by-destination Φ with no anchor sharing."""
     dests = list(destinations) if destinations is not None else graph.ases
     return [
-        phi_for_destination(graph, dest, max_paths=max_paths) for dest in dests
+        _reference_phi_for_destination(graph, dest, max_paths=max_paths)
+        for dest in dests
     ]
 
 
@@ -151,13 +284,16 @@ def conditional_phi_by_provider(
     anchor = _phi_anchor(graph, origin)
     if anchor is None:
         return {}
-    paths, _ = uphill_paths_to_tier1(graph, anchor, max_paths=max_paths)
+    view = UphillView(graph, anchor)
+    paths, _ = view.uphill_paths_to_tier1(max_paths=max_paths)
     stats: Dict[ASN, Tuple[int, int]] = {}
     for path in paths:
         first_hop = path[1] if len(path) > 1 else None
         if first_hop is None:
             continue
-        good = _disjoint_alternative_exists(graph, anchor, set(path) - {anchor})
+        blocked = set(path)
+        blocked.discard(anchor)
+        good = view.disjoint_alternative_exists(blocked)
         hits, total = stats.get(first_hop, (0, 0))
         stats[first_hop] = (hits + (1 if good else 0), total + 1)
     return stats

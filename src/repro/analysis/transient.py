@@ -7,12 +7,22 @@ given that it had working connectivity before the event.  We replay the
 forwarding-change trace and classify every eligible AS at every instant
 at which any control-plane state changed, including the instant of the
 event itself.
+
+The scan is *incremental*: a walk's outcome is a deterministic function
+of the state keys it reads (see
+:class:`repro.forwarding.walk.ReadRecordingState`), so after one full
+classification only the ASes whose recorded dependencies intersect an
+instant's changed keys are re-walked.  On Internet-like topologies a
+convergence instant typically touches one or two ASes' forwarding
+state, turning the per-instant cost from O(all eligible walks) into
+O(affected walks).  :func:`_reference_analyze_transient_problems` keeps
+the full-rescan implementation for equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.forwarding.walk import WalkClassifier
 from repro.sim.tracing import ForwardingTrace
@@ -129,6 +139,142 @@ def analyze_transient_problems(
         if Outcome.BLACKHOLE in kinds:
             report.blackholed.add(asn)
 
+    # Incremental classification state: the current outcome of each
+    # eligible AS, which state keys its last walk read, and the reverse
+    # index from state key to dependent sources.
+    outcome_of: Dict[ASN, Outcome] = {}
+    deps_of: Dict[ASN, set] = {}
+    dependents: Dict[object, Set[ASN]] = {}
+    problems_now = 0
+    scanned_once = False
+
+    def reclassify(state: Dict, asn: ASN, time: float) -> None:
+        nonlocal problems_now
+        outcome, reads = plane.classify_one_recording(
+            state, asn, failed_links=failed_links, failed_ases=failed_ases
+        )
+        old_reads = deps_of.get(asn)
+        if old_reads is None:
+            new_keys = reads
+        else:
+            for key in old_reads - reads:
+                dependents[key].discard(asn)
+            new_keys = reads - old_reads
+        for key in new_keys:
+            dependents.setdefault(key, set()).add(asn)
+        deps_of[asn] = reads
+
+        old = outcome_of.get(asn)
+        outcome_of[asn] = outcome
+        if outcome is Outcome.DELIVERED:
+            if old is not None and old is not Outcome.DELIVERED:
+                problems_now -= 1
+                if asn in problem_since:
+                    close_interval(asn, time)
+            return
+        if old is None or old is Outcome.DELIVERED:
+            problems_now += 1
+        if asn not in problem_since:
+            problem_since[asn] = (time, set())
+        problem_since[asn][1].add(outcome)
+
+    def scan(state: Dict, time: float, changed_keys: Optional[set]) -> None:
+        nonlocal scanned_once
+        if not scanned_once:
+            targets: Iterable[ASN] = sorted(eligible)
+            scanned_once = True
+        else:
+            touched: Set[ASN] = set()
+            for key in changed_keys or ():
+                sources = dependents.get(key)
+                if sources:
+                    touched |= sources
+            targets = sorted(touched)
+        for asn in targets:
+            reclassify(state, asn, time)
+        report.timeline.append((time, len(report.affected)))
+        report.problem_timeline.append((time, problems_now))
+
+    if include_detection_instant:
+        event_time = trace.changes[0].time if trace.changes else 0.0
+        scan(dict(initial_state), event_time, None)
+
+    final_state = dict(initial_state)
+    for time, state, changed in trace.replay_with_changes(initial_state):
+        scan(state, time, changed)
+        final_state = state
+        last_time = time
+
+    # Separate permanent (topology-induced) unreachability from
+    # transient problems: an AS still failing in the fully converged
+    # state was partitioned by the event, not disrupted by convergence.
+    if not scanned_once:
+        # No instant was ever scanned (empty trace): classify the final
+        # (= initial) state once, without touching the timelines.
+        final_outcomes = plane.classify(
+            final_state, eligible, failed_links=failed_links, failed_ases=failed_ases
+        )
+        outcome_of = {
+            asn: final_outcomes.get(asn, Outcome.BLACKHOLE) for asn in eligible
+        }
+    for asn in eligible:
+        if outcome_of.get(asn, Outcome.BLACKHOLE) is not Outcome.DELIVERED:
+            report.permanently_unreachable.add(asn)
+            problem_since.pop(asn, None)
+    # Close intervals still open at convergence.  They recovered by the
+    # final snapshot's classification above, so end them there.
+    for asn in list(problem_since):
+        close_interval(asn, last_time)
+    report.affected -= report.permanently_unreachable
+    report.looped -= report.permanently_unreachable
+    report.blackholed -= report.permanently_unreachable
+    return report
+
+
+def _reference_analyze_transient_problems(
+    trace: ForwardingTrace,
+    initial_state: Dict,
+    plane: WalkClassifier,
+    ases: Iterable[ASN],
+    *,
+    failed_links: FrozenSet[Link] = frozenset(),
+    failed_ases: FrozenSet[ASN] = frozenset(),
+    pre_event_state: Optional[Dict] = None,
+    include_detection_instant: bool = False,
+    min_duration: float = 0.0,
+) -> TransientReport:
+    """Full-rescan analyzer (pre-optimization behavior).
+
+    Re-classifies every eligible AS at every instant.  Kept as the
+    brute-force reference the incremental implementation is pinned to
+    in the equivalence tests.
+    """
+    report = TransientReport()
+    all_ases = list(ases)
+
+    baseline_state = pre_event_state if pre_event_state is not None else initial_state
+    baseline = plane.classify(baseline_state, all_ases)
+    report.eligible = {
+        asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
+    } - set(failed_ases)
+    if not report.eligible:
+        return report
+
+    eligible = report.eligible
+
+    problem_since: Dict[ASN, Tuple[float, Set[Outcome]]] = {}
+    last_time = 0.0
+
+    def close_interval(asn: ASN, end: float) -> None:
+        start, kinds = problem_since.pop(asn)
+        if end - start < min_duration:
+            return
+        report.affected.add(asn)
+        if Outcome.LOOP in kinds:
+            report.looped.add(asn)
+        if Outcome.BLACKHOLE in kinds:
+            report.blackholed.add(asn)
+
     def scan(state: Dict, time: float) -> None:
         outcomes = plane.classify(
             state, eligible, failed_links=failed_links, failed_ases=failed_ases
@@ -157,9 +303,6 @@ def analyze_transient_problems(
         final_state = state
         last_time = time
 
-    # Separate permanent (topology-induced) unreachability from
-    # transient problems: an AS still failing in the fully converged
-    # state was partitioned by the event, not disrupted by convergence.
     final_outcomes = plane.classify(
         final_state, eligible, failed_links=failed_links, failed_ases=failed_ases
     )
@@ -167,8 +310,6 @@ def analyze_transient_problems(
         if final_outcomes.get(asn, Outcome.BLACKHOLE) is not Outcome.DELIVERED:
             report.permanently_unreachable.add(asn)
             problem_since.pop(asn, None)
-    # Close intervals still open at convergence.  They recovered by the
-    # final snapshot's classification above, so end them there.
     for asn in list(problem_since):
         close_interval(asn, last_time)
     report.affected -= report.permanently_unreachable

@@ -22,20 +22,22 @@ def route_sort_key(
 ) -> Tuple[int, int, int, int]:
     """Sort key such that the minimum is the best route.
 
+    Routes carrying a precomputed ``base_key`` (attached at Adj-RIB-In
+    insertion) are keyed without any graph lookup; the slow path keeps
+    working for bare routes built in tests or analysis code.
+
     ``prefer_locked`` inserts STAMP's lock preference between local
     preference and path length: a blue process must keep selecting (and
     hence re-announcing) a Lock-carrying route so the guaranteed blue
     downhill chain survives route selection.  Locked routes only ever
     arrive from customers, so this stays within Gao-Rexford safety.
     """
-    neighbor = route.learned_from if route.learned_from is not None else -1
     lock_rank = 0 if (prefer_locked and route.lock) else 1
-    return (
-        -relationship_pref(graph, asn, route),
-        lock_rank,
-        route.length,
-        neighbor,
-    )
+    base = route.base_key
+    if base is None:
+        neighbor = route.learned_from if route.learned_from is not None else -1
+        base = (-relationship_pref(graph, asn, route), route.length, neighbor)
+    return (base[0], lock_rank, base[1], base[2])
 
 
 def best_route(

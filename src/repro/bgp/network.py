@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.bgp.speaker import BGPSpeaker, ProtocolStats, SpeakerConfig
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SimulationError
 from repro.sim.delays import DelayModel, UniformDelay
 from repro.sim.engine import Engine
 from repro.sim.timers import MRAIConfig
@@ -115,7 +115,10 @@ class BGPNetwork:
         started = self.engine.now
         try:
             self.engine.run(max_events=self.config.max_events_per_phase)
-        except Exception as exc:
+        except SimulationError as exc:
+            # Only the engine's own backstop means "did not converge";
+            # any other exception is a genuine bug in an event callback
+            # and must propagate unmasked.
             raise ConvergenceError(
                 f"no convergence after {self.config.max_events_per_phase} events"
             ) from exc

@@ -14,14 +14,21 @@ from repro.topology.graph import ASGraph
 from repro.types import ASN, RELATIONSHIP_PREFERENCE, Relationship
 
 
+#: Local preference of an originated route: above every learned route
+#: (the destination never prefers a transit route to its own prefix).
+ORIGIN_PREFERENCE: int = max(RELATIONSHIP_PREFERENCE.values()) + 1
+
+
 def relationship_pref(graph: ASGraph, asn: ASN, route: Route) -> int:
     """Local preference of a route (customer > peer > provider).
 
-    Originated routes rank above everything (the destination never
-    prefers a transit route to its own prefix).
+    Routes that carry a cached ``pref`` (attached at Adj-RIB-In
+    insertion) are answered without touching the graph.
     """
+    if route.pref is not None:
+        return route.pref
     if route.is_origin:
-        return max(RELATIONSHIP_PREFERENCE.values()) + 1
+        return ORIGIN_PREFERENCE
     rel = graph.relationship(asn, route.learned_from)
     return RELATIONSHIP_PREFERENCE[rel]
 

@@ -9,20 +9,39 @@ route has an empty path and no ``learned_from``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.types import ASN, ASPath, EventType
 
 
 @dataclass(frozen=True)
 class Route:
-    """One usable route, as stored in a RIB."""
+    """One usable route, as stored in a RIB.
+
+    ``pref`` optionally carries the local preference of the announcing
+    neighbor, computed once at Adj-RIB-In insertion from the speaker's
+    preference table; the decision process then needs no graph lookups.
+    It is derived state (a function of the speaker and ``learned_from``),
+    so it is excluded from equality.  When set, ``base_key`` holds the
+    precomputed lock-independent sort key ``(-pref, length, neighbor)``.
+
+    Constraint: ``pref`` is frozen at insertion, so re-annotating a
+    *live* link's relationship mid-run (remove_link + re-add flipped,
+    without tearing the session down) would leave stored routes keyed
+    on the old preference.  Topology events in this simulator go
+    through the transport (session resets withdraw the affected
+    routes), so graph edits while RIBs hold routes are unsupported.
+    """
 
     path: ASPath
     learned_from: Optional[ASN]
     et: EventType = EventType.NO_LOSS
     lock: bool = False
+    pref: Optional[int] = field(default=None, compare=False, repr=False)
+    base_key: Optional[Tuple[int, int, int]] = field(
+        default=None, compare=False, repr=False, init=False
+    )
 
     def __post_init__(self) -> None:
         if self.learned_from is None:
@@ -30,6 +49,11 @@ class Route:
                 raise ValueError("originated routes must have an empty path")
         elif not self.path or self.path[0] != self.learned_from:
             raise ValueError("route path must start at the announcing neighbor")
+        if self.pref is not None:
+            neighbor = self.learned_from if self.learned_from is not None else -1
+            object.__setattr__(
+                self, "base_key", (-self.pref, len(self.path), neighbor)
+            )
 
     @property
     def is_origin(self) -> bool:
@@ -48,26 +72,44 @@ class Route:
 
 
 class AdjRibIn:
-    """Per-neighbor store of the most recent accepted announcement."""
+    """Per-neighbor store of the most recent accepted announcement.
+
+    The deterministic (neighbor-ASN-ordered) route list consumed by the
+    decision process is cached and invalidated on mutation, so repeated
+    decision runs between updates do not re-sort.
+    """
 
     def __init__(self) -> None:
         self._routes: Dict[ASN, Route] = {}
+        self._sorted: Optional[Tuple[Route, ...]] = None
 
     def update(self, neighbor: ASN, route: Route) -> None:
         """Replace the route learned from a neighbor."""
         self._routes[neighbor] = route
+        self._sorted = None
 
     def withdraw(self, neighbor: ASN) -> bool:
         """Remove the neighbor's route; returns whether one existed."""
-        return self._routes.pop(neighbor, None) is not None
+        if self._routes.pop(neighbor, None) is None:
+            return False
+        self._sorted = None
+        return True
 
     def get(self, neighbor: ASN) -> Optional[Route]:
         """Route learned from a neighbor, if any."""
         return self._routes.get(neighbor)
 
-    def routes(self) -> List[Route]:
-        """All stored routes, in deterministic (neighbor ASN) order."""
-        return [self._routes[nbr] for nbr in sorted(self._routes)]
+    def routes(self) -> Tuple[Route, ...]:
+        """All stored routes, in deterministic (neighbor ASN) order.
+
+        Returns an immutable cached tuple, so callers cannot corrupt
+        the RIB's internal view between mutations.
+        """
+        if self._sorted is None:
+            self._sorted = tuple(
+                self._routes[nbr] for nbr in sorted(self._routes)
+            )
+        return self._sorted
 
     def neighbors(self) -> List[ASN]:
         """Neighbors we currently hold a route from, sorted."""

@@ -22,13 +22,20 @@ from typing import Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.bgp.decision import best_route
 from repro.bgp.messages import Announcement, Withdrawal
-from repro.bgp.policy import export_allowed, import_accept
+from repro.bgp.policy import ORIGIN_PREFERENCE, export_allowed, import_accept
 from repro.bgp.ribs import AdjRibIn, Route
 from repro.sim.engine import Engine
 from repro.sim.timers import MRAIConfig, MRAIPacer
 from repro.sim.tracing import ForwardingTrace
 from repro.sim.transport import Transport
-from repro.types import ASN, ASPath, EventType, Link, normalize_link
+from repro.types import (
+    ASN,
+    ASPath,
+    EventType,
+    Link,
+    RELATIONSHIP_PREFERENCE,
+    normalize_link,
+)
 
 #: Export gate: ``(peer, route) -> (allow, lock)``.
 ExportGate = Callable[[ASN, Route], Tuple[bool, bool]]
@@ -107,6 +114,12 @@ class BGPSpeaker:
         self.sessions: Set[ASN] = set(
             sessions if sessions is not None else graph.neighbors(asn)
         )
+        #: Cached ``sorted(self.sessions)``; rebuilt after session churn.
+        self._sessions_sorted: Optional[Tuple[ASN, ...]] = None
+        #: Per-neighbor local preference, so route insertion (and hence
+        #: the decision process) does no graph lookups on the hot path.
+        self._pref_table: Dict[ASN, int] = {}
+        self._pref_version: int = -1
         self.adj_rib_in = AdjRibIn()
         self.best: Optional[Route] = None
         self.is_origin = False
@@ -125,6 +138,24 @@ class BGPSpeaker:
         self.is_origin = True
         self._run_decision(EventType.NO_LOSS, None)
 
+    def local_pref(self, neighbor: ASN) -> int:
+        """Local preference toward a neighbor (cached per graph version)."""
+        if self.graph.version != self._pref_version:
+            self._pref_table.clear()
+            self._pref_version = self.graph.version
+        pref = self._pref_table.get(neighbor)
+        if pref is None:
+            rel = self.graph.relationship(self.asn, neighbor)
+            pref = RELATIONSHIP_PREFERENCE[rel]
+            self._pref_table[neighbor] = pref
+        return pref
+
+    def sorted_sessions(self) -> Tuple[ASN, ...]:
+        """Sessions in deterministic (ascending ASN) order, cached."""
+        if self._sessions_sorted is None:
+            self._sessions_sorted = tuple(sorted(self.sessions))
+        return self._sessions_sorted
+
     def on_message(self, sender: ASN, message) -> None:
         """Process one incoming update from a neighbor."""
         if sender not in self.sessions:
@@ -138,6 +169,7 @@ class BGPSpeaker:
                         learned_from=sender,
                         et=message.et,
                         lock=message.lock,
+                        pref=self.local_pref(sender),
                     ),
                 )
             else:
@@ -156,6 +188,7 @@ class BGPSpeaker:
         if peer not in self.sessions:
             return
         self.sessions.discard(peer)
+        self._sessions_sorted = None
         self._pacer.cancel(peer)
         self._advertised.pop(peer, None)
         self._pending.pop(peer, None)
@@ -167,6 +200,7 @@ class BGPSpeaker:
         if peer in self.sessions:
             return
         self.sessions.add(peer)
+        self._sessions_sorted = None
         self.refresh_peer(peer)
 
     # ------------------------------------------------------------------
@@ -175,7 +209,7 @@ class BGPSpeaker:
 
     def _candidates(self) -> Iterable[Route]:
         if self.is_origin:
-            return [Route(path=(), learned_from=None)]
+            return [Route(path=(), learned_from=None, pref=ORIGIN_PREFERENCE)]
         return self.adj_rib_in.routes()
 
     def _run_decision(self, cause_et: EventType, root_cause: Optional[Link]) -> None:
@@ -228,7 +262,7 @@ class BGPSpeaker:
         root_cause: Optional[Link] = None,
     ) -> None:
         """Queue (MRAI-paced) re-advertisement to every stale peer."""
-        for peer in sorted(self.sessions):
+        for peer in self.sorted_sessions():
             self.refresh_peer(peer, et=et, root_cause=root_cause)
 
     def refresh_peer(

@@ -70,6 +70,37 @@ def classify_functional_graph(
     return outcomes
 
 
+class ReadRecordingState:
+    """Mapping wrapper that records which state keys a walk reads.
+
+    Every data plane consults the control-plane snapshot exclusively
+    through ``state.get``/``state[...]``, so the set of keys read while
+    classifying one source is exactly the set of trace keys its outcome
+    depends on: a walk is a deterministic function of the values it
+    reads, hence unchanged reads imply an unchanged outcome.  The
+    incremental transient analyzer uses this to re-classify only the
+    sources whose recorded keys changed.
+    """
+
+    __slots__ = ("_state", "reads")
+
+    def __init__(self, state: Dict) -> None:
+        self._state = state
+        self.reads: set = set()
+
+    def get(self, key, default=None):
+        self.reads.add(key)
+        return self._state.get(key, default)
+
+    def __getitem__(self, key):
+        self.reads.add(key)
+        return self._state[key]
+
+    def __contains__(self, key) -> bool:
+        self.reads.add(key)
+        return key in self._state
+
+
 class WalkClassifier:
     """Base class for protocol-specific data planes.
 
@@ -91,3 +122,22 @@ class WalkClassifier:
     ) -> Dict[Hashable, Outcome]:
         """Outcome per source AS under the given snapshot."""
         raise NotImplementedError
+
+    def classify_one_recording(
+        self,
+        state: Dict,
+        asn,
+        *,
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+    ) -> "tuple[Outcome, set]":
+        """Classify one source and report the state keys it read.
+
+        Returns ``(outcome, keys_read)``.  Sources the plane refuses to
+        classify (e.g. failed ASes) count as BLACKHOLE.
+        """
+        recorder = ReadRecordingState(state)
+        outcomes = self.classify(
+            recorder, (asn,), failed_links=failed_links, failed_ases=failed_ases
+        )
+        return outcomes.get(asn, Outcome.BLACKHOLE), recorder.reads

@@ -17,15 +17,20 @@ from repro.errors import SimulationError
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_engine")
 
-    def __init__(self, time: float) -> None:
+    def __init__(self, time: float, engine: "Optional[Engine]" = None) -> None:
         self.time = time
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled(self)
 
 
 class Engine:
@@ -36,12 +41,17 @@ class Engine:
     a fixed seed reproduces a run exactly.
     """
 
+    #: Compaction threshold: never compact below this many cancelled
+    #: entries (avoids thrashing on small queues).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
         self._now = 0.0
         self._seq = 0
         self._queue: List[Tuple[float, int, EventHandle, Callable[[], Any]]] = []
         self._events_processed = 0
+        self._cancelled_in_queue = 0
 
     @property
     def now(self) -> float:
@@ -54,14 +64,37 @@ class Engine:
         return self._events_processed
 
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for _, _, handle, _ in self._queue if not handle.cancelled)
+        """Number of queued (non-cancelled) events — O(1)."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    def _note_cancelled(self, handle: EventHandle) -> None:
+        """Account a cancellation; compact when tombstones dominate.
+
+        Cancelled entries stay in the heap (lazy deletion) and are
+        skipped on pop; once they make up half of a large queue the heap
+        is rebuilt without them, so abandoned MRAI timers cannot
+        accumulate unboundedly.
+        """
+        del handle
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._queue = [
+            entry for entry in self._queue if not entry[2].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     def schedule(self, delay: float, action: Callable[[], Any]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        handle = EventHandle(self._now + delay)
+        handle = EventHandle(self._now + delay, self)
         heapq.heappush(self._queue, (handle.time, self._seq, handle, action))
         self._seq += 1
         return handle
@@ -91,7 +124,11 @@ class Engine:
                 self._now = until
                 break
             heapq.heappop(self._queue)
+            # Detach so a late cancel() of a consumed handle cannot
+            # skew the tombstone accounting.
+            handle._engine = None
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self._now = time
             action()

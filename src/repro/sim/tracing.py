@@ -56,15 +56,34 @@ class ForwardingTrace:
         recorded change; the same (mutated) dict is yielded each time,
         so callers must not hold references across iterations.
         """
+        for time, state, _ in self.replay_with_changes(initial):
+            yield time, state
+
+    def replay_with_changes(
+        self, initial: Dict[Tuple[ASN, Hashable], Any]
+    ) -> Iterator[Tuple[float, Dict[Tuple[ASN, Hashable], Any], set]]:
+        """Like :meth:`replay`, but also yields the keys that changed.
+
+        The third element is the set of state keys whose value actually
+        differs from the previous instant (recording the same value
+        again does not count); incremental analyzers re-examine only
+        walks that depend on those keys.  Keys absent from ``initial``
+        always count as changed on first write.
+        """
         state = dict(initial)
         pending = sorted(
             self.changes, key=lambda change: change.time
         )
         index = 0
-        while index < len(pending):
+        total = len(pending)
+        while index < total:
             time = pending[index].time
-            while index < len(pending) and pending[index].time == time:
+            changed: set = set()
+            while index < total and pending[index].time == time:
                 change = pending[index]
-                state[(change.asn, change.key)] = change.state
+                key = (change.asn, change.key)
+                if key not in state or state[key] != change.state:
+                    state[key] = change.state
+                    changed.add(key)
                 index += 1
-            yield time, state
+            yield time, state, changed

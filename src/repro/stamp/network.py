@@ -7,7 +7,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.bgp.network import NetworkConfig
 from repro.bgp.speaker import ProtocolStats, SpeakerConfig
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, SimulationError
 from repro.sim.engine import Engine
 from repro.sim.tracing import ForwardingTrace
 from repro.sim.transport import Transport
@@ -104,7 +104,9 @@ class STAMPNetwork:
         started = self.engine.now
         try:
             self.engine.run(max_events=self.config.max_events_per_phase)
-        except Exception as exc:
+        except SimulationError as exc:
+            # Only the engine's backstop means "did not converge"; real
+            # bugs in event callbacks must propagate unmasked.
             raise ConvergenceError(
                 f"no convergence after {self.config.max_events_per_phase} events"
             ) from exc

@@ -1,0 +1,83 @@
+"""Golden determinism snapshot of a fixed-seed Figure 2 run.
+
+The perf refactor (indexed topology views, cached decision keys,
+memoized Φ, incremental transient analysis, heap compaction) must not
+change a single simulated event: a fixed-seed run has to produce
+byte-identical forwarding traces and message counts.  This test pins a
+fingerprint of one Figure 2 instance (all four protocols) that was
+captured from the pre-refactor implementation.
+
+Regenerate (only when an *intentional* behavior change lands) with:
+
+    PYTHONPATH=src python tests/experiments/test_determinism_golden.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+
+from repro.experiments.runner import PROTOCOLS, build_network
+from repro.experiments.scenarios import single_provider_link_failure
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "fig2_seed_golden.json"
+
+
+def _trace_sha(trace) -> str:
+    digest = hashlib.sha256()
+    for change in trace.changes:
+        digest.update(
+            repr((change.time, change.asn, change.key, change.state)).encode()
+        )
+    return digest.hexdigest()
+
+
+def compute_fingerprint() -> dict:
+    """Run one Figure 2 instance per protocol and fingerprint it."""
+    graph, _ = generate_internet_topology(InternetTopologyConfig())
+    scenario = single_provider_link_failure(
+        graph, random.Random("0:fig2-single-link:0")
+    )
+    fingerprint: dict = {
+        "scenario": {
+            "destination": scenario.destination,
+            "failed_links": sorted(map(list, scenario.failed_links)),
+        }
+    }
+    for protocol in PROTOCOLS:
+        network, _ = build_network(
+            protocol, graph, scenario.destination, seed=0
+        )
+        initial_time = network.start()
+        initial_announcements = network.stats.announcements
+        initial_withdrawals = network.stats.withdrawals
+        for a, b in scenario.failed_links:
+            network.fail_link(a, b)
+        convergence_time = network.run_to_convergence()
+        fingerprint[protocol] = {
+            "trace_sha": _trace_sha(network.trace),
+            "trace_len": len(network.trace.changes),
+            "announcements": network.stats.announcements,
+            "withdrawals": network.stats.withdrawals,
+            "initial_announcements": initial_announcements,
+            "initial_withdrawals": initial_withdrawals,
+            "messages_sent": network.transport.messages_sent,
+            "events_processed": network.engine.events_processed,
+            "initial_time": repr(initial_time),
+            "convergence_time": repr(convergence_time),
+        }
+    return fingerprint
+
+
+def test_fixed_seed_run_matches_seed_implementation():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert compute_fingerprint() == golden
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(compute_fingerprint(), indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

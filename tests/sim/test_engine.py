@@ -80,6 +80,43 @@ class TestCancellation:
         handle.cancel()
         assert engine.pending() == 1
 
+    def test_mass_cancellation_compacts_queue(self):
+        engine = Engine()
+        keep = [engine.schedule(float(i), lambda: None) for i in range(10)]
+        doomed = [
+            engine.schedule(100.0 + i, lambda: None) for i in range(500)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        # Lazy deletion must not let tombstones accumulate unboundedly.
+        assert len(engine._queue) < 110
+        assert engine.pending() == len(keep)
+        assert engine.run() == len(keep)
+
+    def test_events_survive_compaction_in_order(self):
+        engine = Engine()
+        log = []
+        for i in range(200):
+            engine.schedule(float(i), lambda i=i: log.append(i))
+        cancelled = [
+            engine.schedule(1000.0, lambda: log.append("bad"))
+            for _ in range(400)
+        ]
+        for handle in cancelled:
+            handle.cancel()
+        engine.run()
+        assert log == list(range(200))
+
+    def test_late_cancel_after_firing_keeps_pending_consistent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=1.5)
+        handle.cancel()  # already fired: must not skew accounting
+        assert engine.pending() == 1
+        assert engine.run() == 1
+        assert engine.pending() == 0
+
 
 class TestRunLimits:
     def test_until_stops_the_clock(self):

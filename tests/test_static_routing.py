@@ -103,7 +103,7 @@ class TestExampleTopology:
     def test_reachable_ases(self):
         graph = example_paper_topology()
         state = compute_stable_routes(graph, 90)
-        assert state.reachable_ases() == graph.ases
+        assert state.reachable_ases() == list(graph.ases)
 
 
 class TestFailures:

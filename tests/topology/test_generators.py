@@ -101,7 +101,7 @@ class TestDeterminism:
 class TestSmallTopologies:
     def test_chain(self):
         graph = chain_topology(4)
-        assert graph.providers(1) == [2]
+        assert graph.providers(1) == (2,)
         assert graph.is_tier1(4)
         assert len(graph) == 4
 
@@ -116,7 +116,7 @@ class TestSmallTopologies:
 
     def test_clique(self):
         graph = clique_topology(3)
-        assert graph.peers(1) == [2, 3]
+        assert graph.peers(1) == (2, 3)
         assert all(graph.is_tier1(a) for a in graph.ases)
 
     def test_clique_invalid(self):
@@ -126,8 +126,8 @@ class TestSmallTopologies:
     def test_example_topology_shape(self):
         graph = example_paper_topology()
         assert len(graph) == 9
-        assert graph.tier1s() == [10, 20]
+        assert graph.tier1s() == (10, 20)
         assert graph.is_multihomed(90)
-        assert graph.providers(90) == [70, 80]
+        assert graph.providers(90) == (70, 80)
         report = validate_graph(graph)
         assert report.ok

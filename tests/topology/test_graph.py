@@ -72,7 +72,7 @@ class TestConstruction:
         diamond.remove_as(2)
         assert 2 not in diamond
         assert not diamond.has_link(1, 2)
-        assert diamond.providers(1) == [3]
+        assert diamond.providers(1) == (3,)
 
     def test_copy_is_independent(self, diamond):
         clone = diamond.copy()
@@ -92,9 +92,9 @@ class TestQueries:
 
     def test_providers_customers_peers(self, diamond):
         diamond.add_p2p(2, 3)
-        assert diamond.providers(1) == [2, 3]
-        assert diamond.customers(4) == [2, 3]
-        assert diamond.peers(2) == [3]
+        assert diamond.providers(1) == (2, 3)
+        assert diamond.customers(4) == (2, 3)
+        assert diamond.peers(2) == (3,)
 
     def test_degree(self, diamond):
         assert diamond.degree(1) == 2
@@ -109,7 +109,7 @@ class TestQueries:
     def test_tier1_detection(self, diamond):
         assert diamond.is_tier1(4)
         assert not diamond.is_tier1(2)
-        assert diamond.tier1s() == [4]
+        assert diamond.tier1s() == (4,)
 
     def test_links_report_each_link_once(self, diamond):
         diamond.add_p2p(2, 3)

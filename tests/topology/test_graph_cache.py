@@ -1,0 +1,109 @@
+"""Cache-invalidation regression tests for the indexed ASGraph views.
+
+The adjacency views (providers/customers/peers/neighbors, tier1s, ases)
+are cached tuples; every mutation must invalidate them.  Each test here
+fails if an invalidation hook is forgotten, because the stale cached
+tuple would still report the pre-mutation topology.
+"""
+
+import pytest
+
+from repro.topology.graph import ASGraph
+
+
+@pytest.fixture
+def diamond():
+    """1 multi-homed under 2 and 3; both under tier-1 4."""
+    graph = ASGraph()
+    graph.add_c2p(1, 2)
+    graph.add_c2p(1, 3)
+    graph.add_c2p(2, 4)
+    graph.add_c2p(3, 4)
+    return graph
+
+
+def _warm(graph):
+    """Populate every cache so staleness would be observable."""
+    for asn in graph.ases:
+        graph.providers(asn)
+        graph.customers(asn)
+        graph.peers(asn)
+        graph.neighbors(asn)
+        graph.is_tier1(asn)
+        graph.is_multihomed(asn)
+    graph.tier1s()
+
+
+class TestInvalidation:
+    def test_remove_link_refreshes_views(self, diamond):
+        _warm(diamond)
+        diamond.remove_link(1, 2)
+        assert diamond.providers(1) == (3,)
+        assert diamond.customers(2) == ()
+        assert diamond.neighbors(1) == (3,)
+        assert not diamond.is_multihomed(1)
+
+    def test_add_c2p_refreshes_views(self, diamond):
+        _warm(diamond)
+        diamond.add_c2p(1, 5)
+        assert diamond.providers(1) == (2, 3, 5)
+        assert diamond.is_multihomed(1)
+        # 5 was just created with no providers: a new tier-1.
+        assert diamond.tier1s() == (4, 5)
+        assert 5 in diamond.ases
+
+    def test_add_p2p_refreshes_views(self, diamond):
+        _warm(diamond)
+        diamond.add_p2p(2, 3)
+        assert diamond.peers(2) == (3,)
+        assert diamond.peers(3) == (2,)
+        assert diamond.neighbors(2) == (1, 3, 4)
+
+    def test_remove_as_refreshes_views(self, diamond):
+        _warm(diamond)
+        diamond.remove_as(2)
+        assert 2 not in diamond
+        assert diamond.providers(1) == (3,)
+        assert diamond.customers(4) == (3,)
+        assert diamond.ases == (1, 3, 4)
+        assert not diamond.is_multihomed(1)
+
+    def test_tier1_demotion_via_new_provider(self, diamond):
+        _warm(diamond)
+        assert diamond.is_tier1(4)
+        diamond.add_c2p(4, 9)
+        assert not diamond.is_tier1(4)
+        assert diamond.tier1s() == (9,)
+
+    def test_redundant_add_keeps_views_valid(self, diamond):
+        _warm(diamond)
+        before = diamond.version
+        diamond.add_c2p(1, 2)  # already present: no-op
+        diamond.add_as(1)  # already present: no-op
+        assert diamond.version == before
+        assert diamond.providers(1) == (2, 3)
+
+
+class TestCachingBehavior:
+    def test_views_are_shared_until_mutation(self, diamond):
+        first = diamond.providers(1)
+        assert diamond.providers(1) is first  # cached tuple, no re-sort
+        diamond.add_c2p(1, 5)
+        assert diamond.providers(1) is not first
+
+    def test_version_increments_on_every_mutation(self, diamond):
+        v0 = diamond.version
+        diamond.add_p2p(2, 3)
+        v1 = diamond.version
+        diamond.remove_link(2, 3)
+        v2 = diamond.version
+        diamond.remove_as(1)
+        v3 = diamond.version
+        assert v0 < v1 < v2 < v3
+
+    def test_copy_does_not_share_caches(self, diamond):
+        _warm(diamond)
+        clone = diamond.copy()
+        clone.remove_link(1, 2)
+        assert diamond.providers(1) == (2, 3)
+        assert clone.providers(1) == (3,)

@@ -31,8 +31,8 @@ class TestRoundTrip:
 
     def test_load_from_iterable(self):
         loaded = load_graph(["2|1|-1", "2|3|0"])
-        assert loaded.providers(1) == [2]
-        assert loaded.peers(2) == [3]
+        assert loaded.providers(1) == (2,)
+        assert loaded.peers(2) == (3,)
 
 
 class TestParsing:
