@@ -5,11 +5,18 @@ two common business relationships: customer-provider (c2p) or peer-peer
 (p2p).  The customer-provider hierarchy is required to be acyclic, which
 is the assumption under which Gao-Rexford safety (and hence the paper's
 analysis) holds.
+
+Adjacency queries are served from relationship-indexed views cached per
+AS: ``providers``/``customers``/``peers``/``neighbors`` return shared
+immutable tuples, and ``is_tier1``/``is_multihomed``/``degree`` are
+O(1).  Every mutation bumps :attr:`version` and invalidates the views,
+so link-failure experiments that edit the graph stay correct; external
+caches (e.g. per-speaker preference tables) can key off ``version``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import (
     CyclicHierarchyError,
@@ -18,6 +25,11 @@ from repro.errors import (
     UnknownLinkError,
 )
 from repro.types import ASN, Link, Relationship, normalize_link
+
+#: Cached per-AS adjacency: (providers, customers, peers, neighbors).
+_AdjView = Tuple[
+    Tuple[ASN, ...], Tuple[ASN, ...], Tuple[ASN, ...], Tuple[ASN, ...]
+]
 
 
 class ASGraph:
@@ -29,14 +41,27 @@ class ASGraph:
 
     def __init__(self) -> None:
         self._nbr: Dict[ASN, Dict[ASN, Relationship]] = {}
+        self._version = 0
+        self._views: Dict[ASN, _AdjView] = {}
+        self._ases: Optional[Tuple[ASN, ...]] = None
+        self._tier1s: Optional[Tuple[ASN, ...]] = None
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._views:
+            self._views.clear()
+        self._ases = None
+        self._tier1s = None
+
     def add_as(self, asn: ASN) -> None:
         """Add an AS with no links (idempotent)."""
-        self._nbr.setdefault(asn, {})
+        if asn not in self._nbr:
+            self._nbr[asn] = {}
+            self._invalidate()
 
     def add_c2p(self, customer: ASN, provider: ASN) -> None:
         """Add a customer-provider link.
@@ -56,12 +81,15 @@ class ASGraph:
         self.add_as(a)
         self.add_as(b)
         existing = self._nbr[a].get(b)
-        if existing is not None and existing is not rel_of_b:
-            raise TopologyError(
-                f"link {a}-{b} already exists with relationship {existing.value}"
-            )
+        if existing is not None:
+            if existing is not rel_of_b:
+                raise TopologyError(
+                    f"link {a}-{b} already exists with relationship {existing.value}"
+                )
+            return
         self._nbr[a][b] = rel_of_b
         self._nbr[b][a] = rel_of_b.inverse
+        self._invalidate()
 
     def remove_link(self, a: ASN, b: ASN) -> None:
         """Remove the link between two ASes."""
@@ -69,6 +97,7 @@ class ASGraph:
             raise UnknownLinkError(f"no link {a}-{b}")
         del self._nbr[a][b]
         del self._nbr[b][a]
+        self._invalidate()
 
     def remove_as(self, asn: ASN) -> None:
         """Remove an AS and all of its links."""
@@ -76,9 +105,10 @@ class ASGraph:
         for nbr in list(self._nbr[asn]):
             del self._nbr[nbr][asn]
         del self._nbr[asn]
+        self._invalidate()
 
     def copy(self) -> "ASGraph":
-        """Deep copy of the graph."""
+        """Deep copy of the graph (caches are rebuilt lazily)."""
         clone = ASGraph()
         clone._nbr = {asn: dict(nbrs) for asn, nbrs in self._nbr.items()}
         return clone
@@ -86,6 +116,11 @@ class ASGraph:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the topology changes."""
+        return self._version
 
     def _require(self, asn: ASN) -> None:
         if asn not in self._nbr:
@@ -101,9 +136,11 @@ class ASGraph:
         return iter(self._nbr)
 
     @property
-    def ases(self) -> List[ASN]:
+    def ases(self) -> Tuple[ASN, ...]:
         """All AS numbers, sorted (stable iteration for seeded runs)."""
-        return sorted(self._nbr)
+        if self._ases is None:
+            self._ases = tuple(sorted(self._nbr))
+        return self._ases
 
     def has_link(self, a: ASN, b: ASN) -> bool:
         """Whether a direct link exists between two ASes."""
@@ -117,26 +154,47 @@ class ASGraph:
         except KeyError:
             raise UnknownLinkError(f"no link {a}-{b}") from None
 
-    def neighbors(self, asn: ASN) -> List[ASN]:
-        """All neighbors of an AS, sorted."""
-        self._require(asn)
-        return sorted(self._nbr[asn])
+    def _view(self, asn: ASN) -> _AdjView:
+        view = self._views.get(asn)
+        if view is None:
+            self._require(asn)
+            providers: List[ASN] = []
+            customers: List[ASN] = []
+            peers: List[ASN] = []
+            for nbr, rel in self._nbr[asn].items():
+                if rel is Relationship.PROVIDER:
+                    providers.append(nbr)
+                elif rel is Relationship.CUSTOMER:
+                    customers.append(nbr)
+                else:
+                    peers.append(nbr)
+            providers.sort()
+            customers.sort()
+            peers.sort()
+            view = (
+                tuple(providers),
+                tuple(customers),
+                tuple(peers),
+                tuple(sorted(self._nbr[asn])),
+            )
+            self._views[asn] = view
+        return view
 
-    def _by_rel(self, asn: ASN, rel: Relationship) -> List[ASN]:
-        self._require(asn)
-        return sorted(n for n, r in self._nbr[asn].items() if r is rel)
+    def neighbors(self, asn: ASN) -> Tuple[ASN, ...]:
+        """All neighbors of an AS, sorted (cached tuple)."""
+        return self._view(asn)[3]
 
-    def providers(self, asn: ASN) -> List[ASN]:
-        """Providers of an AS, sorted."""
-        return self._by_rel(asn, Relationship.PROVIDER)
+    def providers(self, asn: ASN) -> Tuple[ASN, ...]:
+        """Providers of an AS, sorted (cached tuple)."""
+        return self._view(asn)[0]
 
-    def customers(self, asn: ASN) -> List[ASN]:
-        """Customers of an AS, sorted."""
-        return self._by_rel(asn, Relationship.CUSTOMER)
+    def customers(self, asn: ASN) -> Tuple[ASN, ...]:
+        """Customers of an AS, sorted (cached tuple)."""
+        return self._view(asn)[1]
 
-    def peers(self, asn: ASN) -> List[ASN]:
-        """Peers of an AS, sorted."""
-        return self._by_rel(asn, Relationship.PEER)
+    def peers(self, asn: ASN) -> Tuple[ASN, ...]:
+        """Peers of an AS, sorted (cached tuple)."""
+        return self._view(asn)[2]
 
     def degree(self, asn: ASN) -> int:
         """Number of neighbors."""
@@ -145,19 +203,23 @@ class ASGraph:
 
     def is_multihomed(self, asn: ASN) -> bool:
         """Whether the AS has two or more providers."""
-        return len(self.providers(asn)) >= 2
+        return len(self._view(asn)[0]) >= 2
 
     def is_stub(self, asn: ASN) -> bool:
         """Whether the AS has no customers."""
-        return not self.customers(asn)
+        return not self._view(asn)[1]
 
     def is_tier1(self, asn: ASN) -> bool:
         """Whether the AS has no providers (top of the hierarchy)."""
-        return not self.providers(asn)
+        return not self._view(asn)[0]
 
-    def tier1s(self) -> List[ASN]:
-        """All provider-free ASes, sorted."""
-        return [asn for asn in self.ases if self.is_tier1(asn)]
+    def tier1s(self) -> Tuple[ASN, ...]:
+        """All provider-free ASes, sorted (cached tuple)."""
+        if self._tier1s is None:
+            self._tier1s = tuple(
+                asn for asn in self.ases if not self._view(asn)[0]
+            )
+        return self._tier1s
 
     def links(self) -> List[Tuple[ASN, ASN, Relationship]]:
         """Every undirected link once, as ``(a, b, what-b-is-to-a)``.
@@ -208,11 +270,9 @@ class ASGraph:
 
         Raises :class:`CyclicHierarchyError` when the hierarchy is cyclic.
         """
+        # indegree counts customers still unprocessed below each provider.
         indegree: Dict[ASN, int] = {asn: 0 for asn in self._nbr}
         for _, provider in self.iter_c2p():
-            indegree[provider] += 0  # ensure key exists
-        # indegree counts customers still unprocessed below each provider.
-        for customer, provider in self.iter_c2p():
             indegree[provider] += 1
         ready = sorted(asn for asn, deg in indegree.items() if deg == 0)
         order: List[ASN] = []
@@ -246,9 +306,10 @@ class ASGraph:
             if node in seen:
                 continue
             seen.add(node)
-            if self.is_tier1(node):
+            providers = self._view(node)[0]
+            if not providers:
                 found.add(node)
-            stack.extend(self.providers(node))
+            stack.extend(providers)
         return found
 
     def first_multihomed_ancestor(self, asn: ASN) -> ASN | None:
@@ -264,9 +325,9 @@ class ASGraph:
         current = asn
         visited: Set[ASN] = set()
         while True:
-            if self.is_multihomed(current):
+            providers = self._view(current)[0]
+            if len(providers) >= 2:
                 return current
-            providers = self.providers(current)
             if not providers:
                 return None
             if current in visited:  # defensive; acyclic graphs never hit this
