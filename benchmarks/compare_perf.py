@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh BENCH_perf.json to a baseline.
+
+Exits non-zero when any benchmark shared between the two files regressed
+by more than the threshold on ``mean_seconds`` (default 20%, override
+with ``--threshold`` or ``REPRO_PERF_THRESHOLD``).  Benchmarks whose
+scale parameters differ between the runs (e.g. the committed baseline
+was measured at 6 instances but CI smoke runs 1) are skipped — wall
+clock is only comparable at equal workload — as are benchmarks present
+in only one file (new or retired entries are reported, not failed).
+
+Usage (what ci.yml runs)::
+
+    python benchmarks/compare_perf.py \
+        --baseline BENCH_perf.json --fresh BENCH_perf_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+#: Per-benchmark fields that define the workload; a mismatch on any of
+#: them makes the timings incomparable.
+WORKLOAD_FIELDS = ("instances", "scale", "workers", "ases", "destinations")
+
+
+def load(path: str) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if "benchmarks" not in payload:
+        raise SystemExit(f"{path}: not a BENCH_perf.json payload")
+    return payload
+
+
+def comparable(base: dict, fresh: dict) -> bool:
+    return all(base.get(f) == fresh.get(f) for f in WORKLOAD_FIELDS)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_perf.json")
+    parser.add_argument("--fresh", default="BENCH_perf_fresh.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_PERF_THRESHOLD", "0.20")),
+        help="allowed fractional mean_seconds growth (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)["benchmarks"]
+    fresh = load(args.fresh)["benchmarks"]
+
+    regressions = []
+    compared = skipped = 0
+    for name in sorted(set(baseline) & set(fresh)):
+        base, new = baseline[name], fresh[name]
+        if not comparable(base, new):
+            skipped += 1
+            print(f"~ {name}: workload changed, skipping")
+            continue
+        compared += 1
+        base_mean, new_mean = base["mean_seconds"], new["mean_seconds"]
+        ratio = new_mean / base_mean if base_mean > 0 else float("inf")
+        marker = "OK"
+        if ratio > 1.0 + args.threshold:
+            marker = "REGRESSION"
+            regressions.append((name, base_mean, new_mean, ratio))
+        print(
+            f"{'!' if marker != 'OK' else ' '} {name}: "
+            f"{base_mean * 1000:.2f}ms -> {new_mean * 1000:.2f}ms "
+            f"({ratio:.2f}x) {marker}"
+        )
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"+ {name}: new benchmark (no baseline)")
+    for name in sorted(set(baseline) - set(fresh)):
+        print(f"- {name}: missing from fresh run")
+
+    print(
+        f"\ncompared {compared}, skipped {skipped}, "
+        f"regressions {len(regressions)} (threshold {args.threshold:.0%})"
+    )
+    if regressions:
+        for name, base_mean, new_mean, ratio in regressions:
+            print(
+                f"FAIL {name}: mean {base_mean * 1000:.2f}ms -> "
+                f"{new_mean * 1000:.2f}ms ({ratio:.2f}x)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,19 @@ def main() -> None:
     )
     print(f"  BGP   ASes with transient problems: {report.affected_count}")
 
+    # --- scaling up ---------------------------------------------------
+    # Full figure reproductions fan their independent (instance,
+    # protocol) simulations out over worker processes; results are
+    # byte-identical for any worker count:
+    #
+    #   repro-stamp fig2 --instances 100 --workers 8
+    #
+    # or from Python:
+    #
+    #   from repro.experiments.figures import fig2_single_link_failure
+    #   from repro.experiments.runner import ExperimentConfig
+    #   fig2_single_link_failure(ExperimentConfig(n_instances=100, workers=8))
+
 
 if __name__ == "__main__":
     main()

@@ -27,6 +27,7 @@ alive for equivalence tests.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -134,6 +135,103 @@ def uphill_paths_to_tier1(
     return UphillView(graph, start).uphill_paths_to_tier1(max_paths=max_paths)
 
 
+class UphillViewCache:
+    """Cross-call cache of per-anchor uphill views and derived Φ stats.
+
+    One figure drives several Φ entry points (`phi_distribution`,
+    `conditional_phi_by_provider`, `phi_with_intelligent_selection`)
+    over the same graph, and footnote-4 inheritance funnels hundreds of
+    destinations through the same few anchors — without a shared cache
+    each entry point rebuilds identical :class:`UphillView`s and
+    re-enumerates identical path sets.  Entries are keyed by graph
+    *identity* (weakly, so graphs can be collected) and invalidated by
+    :attr:`ASGraph.version`, making the cache safe across the link
+    mutations failure experiments perform.
+    """
+
+    def __init__(self) -> None:
+        self._by_graph: "weakref.WeakKeyDictionary[ASGraph, dict]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def clear(self) -> None:
+        """Drop every cached view (benchmarks and tests use this)."""
+        self._by_graph.clear()
+
+    def _entry(self, graph: ASGraph) -> dict:
+        entry = self._by_graph.get(graph)
+        if entry is None or entry["version"] != graph.version:
+            entry = {
+                "version": graph.version,
+                "views": {},
+                "phi": {},
+                "conditional": {},
+            }
+            self._by_graph[graph] = entry
+        return entry
+
+    def view(self, graph: ASGraph, anchor: ASN) -> UphillView:
+        """The anchor's uphill view, built at most once per graph version."""
+        views = self._entry(graph)["views"]
+        view = views.get(anchor)
+        if view is None:
+            view = views[anchor] = UphillView(graph, anchor)
+        return view
+
+    def phi_stats(
+        self, graph: ASGraph, anchor: ASN, max_paths: int
+    ) -> Tuple[float, int, int, bool]:
+        """Memoized ``(phi, n_paths, n_good, capped)`` for one anchor."""
+        return self.phi_stats_in_entry(self._entry(graph), graph, anchor, max_paths)
+
+    def phi_stats_in_entry(
+        self, entry: dict, graph: ASGraph, anchor: ASN, max_paths: int
+    ) -> Tuple[float, int, int, bool]:
+        """Like :meth:`phi_stats` with the entry lookup hoisted out.
+
+        ``phi_distribution`` resolves the graph's entry once and then
+        runs hundreds of anchors against plain dicts; re-validating the
+        weak entry per destination measurably slows the cold path.
+        """
+        key = (anchor, max_paths)
+        stats = entry["phi"].get(key)
+        if stats is None:
+            views = entry["views"]
+            view = views.get(anchor)
+            if view is None:
+                view = views[anchor] = UphillView(graph, anchor)
+            stats = entry["phi"][key] = _phi_from_view(view, max_paths=max_paths)
+        return stats
+
+    def conditional_stats(
+        self, graph: ASGraph, anchor: ASN, max_paths: int
+    ) -> Dict[ASN, Tuple[int, int]]:
+        """Memoized per-first-hop (good, total) stats for one anchor."""
+        entry = self._entry(graph)
+        key = (anchor, max_paths)
+        stats = entry["conditional"].get(key)
+        if stats is None:
+            view = self.view(graph, anchor)
+            paths, _ = view.uphill_paths_to_tier1(max_paths=max_paths)
+            stats = {}
+            for path in paths:
+                first_hop = path[1] if len(path) > 1 else None
+                if first_hop is None:
+                    continue
+                blocked = set(path)
+                blocked.discard(anchor)
+                good = view.disjoint_alternative_exists(blocked)
+                hits, total = stats.get(first_hop, (0, 0))
+                stats[first_hop] = (hits + (1 if good else 0), total + 1)
+            entry["conditional"][key] = stats
+        return stats
+
+
+#: Process-wide cache shared by every Φ entry point (each worker
+#: process of a parallel run holds its own).
+_UPHILL_CACHE = UphillViewCache()
+
+
 def _phi_from_view(
     view: UphillView, *, max_paths: int
 ) -> Tuple[float, int, int, bool]:
@@ -160,8 +258,8 @@ def phi_for_destination(
         if graph.is_tier1(destination):
             return PhiResult(destination, 1.0, 0, 0, None)
         return PhiResult(destination, 0.0, 0, 0, None)
-    phi, n_paths, n_good, capped = _phi_from_view(
-        UphillView(graph, anchor), max_paths=max_paths
+    phi, n_paths, n_good, capped = _UPHILL_CACHE.phi_stats(
+        graph, anchor, max_paths
     )
     return PhiResult(destination, phi, n_paths, n_good, anchor, capped)
 
@@ -184,10 +282,11 @@ def phi_distribution(
     Memoized per anchor: single-homed destinations inherit their first
     multi-homed ancestor's Φ (footnote 4), so each anchor's paths are
     enumerated and checked exactly once however many destinations map
-    to it.
+    to it — and, via :class:`UphillViewCache`, at most once per *graph
+    version* across every Φ entry point a figure calls.
     """
     dests = list(destinations) if destinations is not None else graph.ases
-    by_anchor: Dict[ASN, Tuple[float, int, int, bool]] = {}
+    entry = _UPHILL_CACHE._entry(graph)
     results: List[PhiResult] = []
     for dest in dests:
         anchor = _phi_anchor(graph, dest)
@@ -195,13 +294,9 @@ def phi_distribution(
             phi = 1.0 if graph.is_tier1(dest) else 0.0
             results.append(PhiResult(dest, phi, 0, 0, None))
             continue
-        cached = by_anchor.get(anchor)
-        if cached is None:
-            cached = _phi_from_view(
-                UphillView(graph, anchor), max_paths=max_paths
-            )
-            by_anchor[anchor] = cached
-        phi, n_paths, n_good, capped = cached
+        phi, n_paths, n_good, capped = _UPHILL_CACHE.phi_stats_in_entry(
+            entry, graph, anchor, max_paths
+        )
         results.append(PhiResult(dest, phi, n_paths, n_good, anchor, capped))
     return results
 
@@ -284,19 +379,9 @@ def conditional_phi_by_provider(
     anchor = _phi_anchor(graph, origin)
     if anchor is None:
         return {}
-    view = UphillView(graph, anchor)
-    paths, _ = view.uphill_paths_to_tier1(max_paths=max_paths)
-    stats: Dict[ASN, Tuple[int, int]] = {}
-    for path in paths:
-        first_hop = path[1] if len(path) > 1 else None
-        if first_hop is None:
-            continue
-        blocked = set(path)
-        blocked.discard(anchor)
-        good = view.disjoint_alternative_exists(blocked)
-        hits, total = stats.get(first_hop, (0, 0))
-        stats[first_hop] = (hits + (1 if good else 0), total + 1)
-    return stats
+    # Copy so callers can mutate their result without poisoning the
+    # cross-call cache.
+    return dict(_UPHILL_CACHE.conditional_stats(graph, anchor, max_paths))
 
 
 def phi_with_intelligent_selection(

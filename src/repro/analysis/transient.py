@@ -9,10 +9,12 @@ at which any control-plane state changed, including the instant of the
 event itself.
 
 The scan is *incremental*: a walk's outcome is a deterministic function
-of the state keys it reads (see
-:class:`repro.forwarding.walk.ReadRecordingState`), so after one full
-classification only the ASes whose recorded dependencies intersect an
-instant's changed keys are re-walked.  On Internet-like topologies a
+of the state keys it reads (reported by
+:class:`repro.forwarding.walk.AnalysisSession`), so after one full
+vectorized scan only the ASes whose recorded dependencies intersect an
+instant's changed keys are re-walked — and a changed key only counts
+when its *fingerprint* (the projection walks can observe, e.g. a
+route's next hop) actually changed.  On Internet-like topologies a
 convergence instant typically touches one or two ASes' forwarding
 state, turning the per-instant cost from O(all eligible walks) into
 O(affected walks).  :func:`_reference_analyze_transient_problems` keeps
@@ -116,7 +118,7 @@ def analyze_transient_problems(
     all_ases = list(ases)
 
     baseline_state = pre_event_state if pre_event_state is not None else initial_state
-    baseline = plane.classify(baseline_state, all_ases)
+    baseline = plane.classify_batch(baseline_state, all_ases)
     report.eligible = {
         asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
     } - set(failed_ases)
@@ -147,22 +149,32 @@ def analyze_transient_problems(
     dependents: Dict[object, Set[ASN]] = {}
     problems_now = 0
     scanned_once = False
+    # One walk-spec closure set serves every scan; the replay mutates a
+    # single state dict in place (rebind is called once per scanned
+    # dict, including the detached detection-instant copy).
+    session = plane.analysis_session(
+        initial_state, failed_links=failed_links, failed_ases=failed_ases
+    )
 
-    def reclassify(state: Dict, asn: ASN, time: float) -> None:
+    def apply_classification(asn: ASN, outcome: Outcome, reads: set, time: float) -> None:
         nonlocal problems_now
-        outcome, reads = plane.classify_one_recording(
-            state, asn, failed_links=failed_links, failed_ases=failed_ases
-        )
         old_reads = deps_of.get(asn)
         if old_reads is None:
-            new_keys = reads
-        else:
+            for key in reads:
+                sources = dependents.get(key)
+                if sources is None:
+                    sources = dependents[key] = set()
+                sources.add(asn)
+            deps_of[asn] = reads
+        elif reads is not old_reads and reads != old_reads:
             for key in old_reads - reads:
                 dependents[key].discard(asn)
-            new_keys = reads - old_reads
-        for key in new_keys:
-            dependents.setdefault(key, set()).add(asn)
-        deps_of[asn] = reads
+            for key in reads - old_reads:
+                sources = dependents.get(key)
+                if sources is None:
+                    sources = dependents[key] = set()
+                sources.add(asn)
+            deps_of[asn] = reads
 
         old = outcome_of.get(asn)
         outcome_of[asn] = outcome
@@ -178,20 +190,49 @@ def analyze_transient_problems(
             problem_since[asn] = (time, set())
         problem_since[asn][1].add(outcome)
 
+    # Fingerprint filter: walks observe only a projection of each
+    # snapshot value (e.g. a route's next hop, never the full path), so
+    # a value change whose fingerprint is unchanged cannot change any
+    # outcome and is dropped before the dependency lookup.  During BGP
+    # path exploration most updates swap the tail of a path while the
+    # next hop stays put, making this a major scan filter.
+    key_fingerprint = session.spec.key_fingerprint
+    fingerprints: Dict[object, object] = {
+        key: key_fingerprint(key, value) for key, value in initial_state.items()
+    }
+    _ABSENT = object()
+
     def scan(state: Dict, time: float, changed_keys: Optional[set]) -> None:
         nonlocal scanned_once
         if not scanned_once:
+            # Full scan: every change is absorbed, but the fingerprint
+            # table must still advance past this instant's values.
+            for key in changed_keys or ():
+                fingerprints[key] = key_fingerprint(key, state.get(key))
             targets: Iterable[ASN] = sorted(eligible)
             scanned_once = True
         else:
             touched: Set[ASN] = set()
             for key in changed_keys or ():
+                fingerprint = key_fingerprint(key, state.get(key))
+                if fingerprints.get(key, _ABSENT) == fingerprint:
+                    continue
+                fingerprints[key] = fingerprint
                 sources = dependents.get(key)
                 if sources:
                     touched |= sources
             targets = sorted(touched)
-        for asn in targets:
-            reclassify(state, asn, time)
+        if targets:
+            session.rebind(state)
+            classified = session.classify_many(targets)
+            for asn in targets:
+                outcome, reads = classified[asn]
+                # Unchanged outcome with the identical dependency-set
+                # object needs no bookkeeping at all (any open problem
+                # interval already has this outcome kind recorded).
+                if outcome is outcome_of.get(asn) and reads is deps_of.get(asn):
+                    continue
+                apply_classification(asn, outcome, reads, time)
         report.timeline.append((time, len(report.affected)))
         report.problem_timeline.append((time, problems_now))
 

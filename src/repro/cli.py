@@ -45,7 +45,10 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         n_stub=args.stubs,
     )
     return ExperimentConfig(
-        seed=args.seed, topology=topology, n_instances=args.instances
+        seed=args.seed,
+        topology=topology,
+        n_instances=args.instances,
+        workers=args.workers,
     )
 
 
@@ -176,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--instances", type=int, default=10,
         help="simulation instances per failure figure (paper: 100)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the (instance, protocol) fan-out; "
+             "results are identical for any worker count",
     )
     parser.add_argument("--tier1", type=int, default=8, help="tier-1 ASes")
     parser.add_argument("--tier2", type=int, default=48, help="tier-2 ASes")

@@ -23,11 +23,11 @@ from repro.analysis.phi import (
     phi_distribution,
     phi_with_intelligent_selection,
 )
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import (
     ExperimentConfig,
     PROTOCOLS,
     ProtocolRun,
-    run_scenario,
 )
 from repro.experiments.scenarios import (
     Scenario,
@@ -137,22 +137,22 @@ def _failure_comparison(
     config: Optional[ExperimentConfig],
     graph: Optional[ASGraph],
 ) -> FailureFigureData:
+    """Run one failure figure's (instance, protocol) grid.
+
+    Delegates to :class:`ParallelRunner`: ``config.workers`` processes
+    fan out the independent simulations, and any worker count yields
+    byte-identical statistics (results are merged in canonical order
+    and every unit re-derives its seeds from the deterministic
+    ``f"{seed}:{kind}:{instance}"`` scheme).
+    """
     config = config or ExperimentConfig()
     if graph is None:
         graph, _ = generate_internet_topology(config.topology)
-    data = FailureFigureData(scenario_kind=kind)
-    for protocol in config.protocols:
-        data.runs[protocol] = []
-    for instance in range(config.n_instances):
-        # String seeds hash deterministically (unlike tuple hashes).
-        scenario_rng = random.Random(f"{config.seed}:{kind}:{instance}")
-        scenario = builder(graph, scenario_rng)
-        for protocol in config.protocols:
-            run = run_scenario(
-                graph, scenario, protocol, seed=config.seed * 1_000 + instance
-            )
-            data.runs[protocol].append(run)
-    return data
+    runner = ParallelRunner(workers=config.workers)
+    runs = runner.run_failure_comparison(
+        builder, kind, config.seed, config.n_instances, config.protocols, graph
+    )
+    return FailureFigureData(scenario_kind=kind, runs=runs)
 
 
 def fig2_single_link_failure(
@@ -300,6 +300,7 @@ def sec63_message_overhead(
         topology=config.topology,
         n_instances=config.n_instances,
         protocols=("bgp", "stamp"),
+        workers=config.workers,
     )
     data = _failure_comparison(
         single_provider_link_failure, "sec63-overhead", restricted, graph
@@ -342,6 +343,7 @@ def sec63_convergence_delay(
         topology=config.topology,
         n_instances=config.n_instances,
         protocols=("bgp", "stamp"),
+        workers=config.workers,
     )
     data = _failure_comparison(
         single_provider_link_failure, "sec63-delay", restricted, graph

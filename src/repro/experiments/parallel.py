@@ -1,0 +1,127 @@
+"""Parallel experiment execution: multiprocessing fan-out of runs.
+
+A figure experiment is a grid of independent ``(instance, protocol)``
+simulations over one shared topology — embarrassingly parallel.  The
+:class:`ParallelRunner` fans that grid out over a ``multiprocessing``
+pool:
+
+* the topology is generated once and shipped to each worker via the
+  compact binary round trip (:func:`repro.topology.serialization
+  .graph_to_bytes`), so worker startup is not dominated by graph
+  rebuild;
+* each work unit re-derives its scenario RNG and simulation seed from
+  the same deterministic ``f"{seed}:{kind}:{instance}"`` scheme the
+  sequential path uses — a unit's result does not depend on which
+  process runs it;
+* results are merged in canonical ``(instance, protocol)`` order, so
+  parallel output is byte-identical to sequential output (pinned by
+  ``tests/experiments/test_parallel_runner.py`` and the golden
+  determinism test).
+
+``workers <= 1`` runs the identical unit loop in-process; the pool is
+also skipped for single-unit grids, and environments that cannot spawn
+processes fall back to the in-process loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import ProtocolRun, derive_run_seed, run_scenario
+from repro.topology.graph import ASGraph
+from repro.topology.serialization import graph_from_bytes, graph_to_bytes
+
+#: One work unit: (scenario builder, kind, master seed, instance, protocol).
+WorkUnit = Tuple[Callable, str, int, int, str]
+
+#: Topology of the current worker process, rebuilt once per worker by
+#: the pool initializer.
+_WORKER_GRAPH: Optional[ASGraph] = None
+
+
+def _init_worker(graph_payload: bytes) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = graph_from_bytes(graph_payload)
+
+
+def run_unit(
+    graph: ASGraph,
+    builder: Callable,
+    kind: str,
+    seed: int,
+    instance: int,
+    protocol: str,
+) -> ProtocolRun:
+    """Execute one (instance, protocol) simulation deterministically.
+
+    Both the sequential and the pooled path run exactly this function,
+    which is what makes worker count irrelevant to the results: the
+    scenario is re-derived from a fresh string-seeded RNG and the
+    simulation seed from :func:`derive_run_seed`.
+    """
+    scenario_rng = random.Random(f"{seed}:{kind}:{instance}")
+    scenario = builder(graph, scenario_rng)
+    return run_scenario(
+        graph, scenario, protocol, seed=derive_run_seed(seed, kind, instance)
+    )
+
+
+def _run_unit_in_worker(unit: WorkUnit) -> ProtocolRun:
+    builder, kind, seed, instance, protocol = unit
+    assert _WORKER_GRAPH is not None, "worker initializer did not run"
+    return run_unit(_WORKER_GRAPH, builder, kind, seed, instance, protocol)
+
+
+@dataclass(frozen=True)
+class ParallelRunner:
+    """Fans (instance, protocol) work units over a process pool."""
+
+    workers: int = 1
+
+    def run_units(self, graph: ASGraph, units: Sequence[WorkUnit]) -> List[ProtocolRun]:
+        """Run all units; the result list matches the unit order."""
+        units = list(units)
+        if self.workers <= 1 or len(units) <= 1:
+            return [run_unit(graph, *unit) for unit in units]
+        workers = min(self.workers, len(units))
+        payload = graph_to_bytes(graph)
+        try:
+            with multiprocessing.get_context().Pool(
+                workers, initializer=_init_worker, initargs=(payload,)
+            ) as pool:
+                # pool.map preserves unit order, which is what makes
+                # the merge canonical; chunks amortize IPC per worker.
+                chunksize = max(1, len(units) // (workers * 4))
+                return pool.map(_run_unit_in_worker, units, chunksize=chunksize)
+        except OSError:
+            # Sandboxed environments without process support: degrade
+            # to the identical in-process loop.
+            return [run_unit(graph, *unit) for unit in units]
+
+    def run_failure_comparison(
+        self,
+        builder: Callable,
+        kind: str,
+        seed: int,
+        n_instances: int,
+        protocols: Sequence[str],
+        graph: ASGraph,
+    ) -> Dict[str, List[ProtocolRun]]:
+        """All (instance, protocol) runs of one failure figure.
+
+        Returns ``{protocol: [run per instance, in instance order]}``
+        — the canonical merge order, independent of scheduling.
+        """
+        units: List[WorkUnit] = [
+            (builder, kind, seed, instance, protocol)
+            for instance in range(n_instances)
+            for protocol in protocols
+        ]
+        results = self.run_units(graph, units)
+        runs: Dict[str, List[ProtocolRun]] = {p: [] for p in protocols}
+        for (_, _, _, _, protocol), run in zip(units, results):
+            runs[protocol].append(run)
+        return runs

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -47,6 +48,21 @@ class ExperimentConfig:
     )
     n_instances: int = 20
     protocols: Tuple[str, ...] = PROTOCOLS
+    #: Worker processes for the (instance, protocol) fan-out; 1 runs
+    #: in-process.  Results are merged in canonical order, so any
+    #: worker count produces byte-identical statistics.
+    workers: int = 1
+
+
+def derive_run_seed(seed: int, kind: str, instance: int) -> int:
+    """Per-run simulation seed, disjoint across experiment kinds.
+
+    Hashes the same ``f"{seed}:{kind}:{instance}"`` scheme the scenario
+    RNGs are seeded with (the former ``seed * 1_000 + instance`` stride
+    collided across kinds and overflowed at ``n_instances >= 1000``).
+    """
+    digest = hashlib.sha256(f"{seed}:{kind}:{instance}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass

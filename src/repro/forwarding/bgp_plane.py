@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional
 
-from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.forwarding.walk import (
+    WalkClassifier,
+    WalkSpec,
+    classify_functional_graph,
+)
 from repro.types import ASN, Link, Outcome, normalize_link
 
 
@@ -19,19 +23,20 @@ class BGPDataPlane(WalkClassifier):
         super().__init__(destination)
         self.trace_key = trace_key
 
-    def classify(
-        self,
-        state: Dict,
-        ases: Iterable[ASN],
-        *,
-        failed_links: FrozenSet[Link] = frozenset(),
-        failed_ases: FrozenSet[ASN] = frozenset(),
-    ) -> Dict[ASN, Outcome]:
+    def _walk_spec(self, state, failed_links, failed_ases) -> WalkSpec:
         destination = self.destination
         key = self.trace_key
+        state_get = state.get
+        reads_buf: list = []
+        reads_append = reads_buf.append
+
+        def start(asn: ASN):
+            return asn, None, ()
 
         def successor(asn: ASN) -> Optional[ASN]:
-            path = state.get((asn, key))
+            state_key = (asn, key)
+            reads_append(state_key)
+            path = state_get(state_key)
             if not path:
                 return None
             next_hop = path[0]
@@ -44,5 +49,20 @@ class BGPDataPlane(WalkClassifier):
         def delivered(asn: ASN) -> bool:
             return asn == destination
 
+        def key_fingerprint(state_key, value):
+            # Walks only ever look at a route's next hop.
+            return value[0] if value else None
+
+        return WalkSpec(start, successor, delivered, reads_buf, key_fingerprint)
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        spec = self._walk_spec(state, failed_links, failed_ases)
         sources = [asn for asn in ases if asn not in failed_ases]
-        return classify_functional_graph(sources, successor, delivered)
+        return classify_functional_graph(sources, spec.successor, spec.delivered)

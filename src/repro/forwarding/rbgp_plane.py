@@ -31,7 +31,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
-from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.forwarding.walk import (
+    WalkClassifier,
+    WalkSpec,
+    classify_functional_graph,
+)
 from repro.types import ASN, ASPath, Link, Outcome, normalize_link
 
 PRIMARY = "primary"
@@ -55,16 +59,12 @@ class RBGPDataPlane(WalkClassifier):
         self.rci = rci
         self.graph = graph
 
-    def classify(
-        self,
-        state: Dict,
-        ases: Iterable[ASN],
-        *,
-        failed_links: FrozenSet[Link] = frozenset(),
-        failed_ases: FrozenSet[ASN] = frozenset(),
-    ) -> Dict[ASN, Outcome]:
+    def _walk_spec(self, state, failed_links, failed_ases) -> WalkSpec:
         destination = self.destination
         rci = self.rci
+        state_get = state.get
+        reads_buf: list = []
+        reads_append = reads_buf.append
 
         local_detectors = set()
         if not rci:
@@ -92,7 +92,9 @@ class RBGPDataPlane(WalkClassifier):
             # pass back through the diverting AS itself — the bounce is
             # part of R-BGP's design — so entries are not filtered on
             # that.
-            entries = state.get((asn, FAILOVER)) or ()
+            failover_key = (asn, FAILOVER)
+            reads_append(failover_key)
+            entries = state_get(failover_key) or ()
             for _, path in entries:
                 if rci:
                     # RCI: the AS knows which entries are broken.
@@ -108,7 +110,9 @@ class RBGPDataPlane(WalkClassifier):
                 _, path, index = walk_state
                 return _advance_pin(path, index)
             asn = walk_state
-            path = state.get((asn, PRIMARY))
+            primary_key = (asn, PRIMARY)
+            reads_append(primary_key)
+            path = state_get(primary_key)
             if path and link_ok(asn, path[0]):
                 return path[0]
             if not rci and asn not in local_detectors:
@@ -136,6 +140,28 @@ class RBGPDataPlane(WalkClassifier):
         def delivered(walk_state) -> bool:
             return walk_state == destination
 
+        def start(asn: ASN):
+            return asn, None, ()
+
+        def key_fingerprint(state_key, value):
+            # Primary forwarding only looks at the next hop; failover
+            # entries are followed hop by hop, so their full value
+            # matters (RCI intactness checks read every link).
+            if state_key[1] == PRIMARY:
+                return value[0] if value else None
+            return value
+
+        return WalkSpec(start, successor, delivered, reads_buf, key_fingerprint)
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        spec = self._walk_spec(state, failed_links, failed_ases)
         sources = [asn for asn in ases if asn not in failed_ases]
-        raw = classify_functional_graph(sources, successor, delivered)
+        raw = classify_functional_graph(sources, spec.successor, spec.delivered)
         return {asn: raw[asn] for asn in sources}

@@ -23,7 +23,11 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
-from repro.forwarding.walk import WalkClassifier, classify_functional_graph
+from repro.forwarding.walk import (
+    WalkClassifier,
+    WalkSpec,
+    classify_functional_graph,
+)
 from repro.types import ASN, Color, Link, Outcome, normalize_link
 
 #: Walk state: (AS, packet color, already switched?).
@@ -38,15 +42,13 @@ def unstable_key(color: Color) -> Tuple[str, Color]:
 class STAMPDataPlane(WalkClassifier):
     """Walks color-carrying packets with the switch-once rule."""
 
-    def classify(
-        self,
-        state: Dict,
-        ases: Iterable[ASN],
-        *,
-        failed_links: FrozenSet[Link] = frozenset(),
-        failed_ases: FrozenSet[ASN] = frozenset(),
-    ) -> Dict[ASN, Outcome]:
+    def _walk_spec(self, state, failed_links, failed_ases) -> WalkSpec:
         destination = self.destination
+        state_get = state.get
+        reads_buf: list = []
+        reads_append = reads_buf.append
+        red, blue = Color.RED, Color.BLUE
+        red_unstable, blue_unstable = unstable_key(red), unstable_key(blue)
 
         def link_ok(a: ASN, b: ASN) -> bool:
             return (
@@ -55,57 +57,107 @@ class STAMPDataPlane(WalkClassifier):
                 and normalize_link(a, b) not in failed_links
             )
 
-        def route(asn: ASN, color: Color):
-            return state.get((asn, color))
-
-        def usable(asn: ASN, color: Color) -> bool:
-            path = route(asn, color)
-            return bool(path) and link_ok(asn, path[0])
-
-        def stable(asn: ASN, color: Color) -> bool:
-            return not state.get((asn, unstable_key(color)), False)
-
-        def initial_color(asn: ASN) -> Optional[Color]:
-            for color in (Color.BLUE, Color.RED):
-                if usable(asn, color) and stable(asn, color):
-                    return color
-            for color in (Color.BLUE, Color.RED):
-                if usable(asn, color):
-                    return color
-            return None
-
         def successor(walk_state) -> Optional[_WalkState]:
+            # Single fetch per route: the layered usable/stable helpers
+            # re-read the same snapshot keys several times per hop,
+            # which dominates full-scan classification cost.
             asn, color, switched = walk_state
-            if usable(asn, color) and stable(asn, color):
-                return (route(asn, color)[0], color, switched)
+            own_key = (asn, color)
+            reads_append(own_key)
+            path = state_get(own_key)
+            own_usable = bool(path) and link_ok(asn, path[0])
+            if own_usable:
+                unstable_key_ = (
+                    asn,
+                    red_unstable if color is red else blue_unstable,
+                )
+                reads_append(unstable_key_)
+                if not state_get(unstable_key_, False):
+                    return (path[0], color, switched)
             if not switched:
-                other = color.other
-                if usable(asn, other):
-                    return (route(asn, other)[0], other, True)
-            if usable(asn, color):
+                other = blue if color is red else red
+                other_key = (asn, other)
+                reads_append(other_key)
+                other_path = state_get(other_key)
+                if other_path and link_ok(asn, other_path[0]):
+                    return (other_path[0], other, True)
+            if own_usable:
                 # No stable alternative: ride the unstable same-color
                 # route rather than drop.
-                return (route(asn, color)[0], color, switched)
+                return (path[0], color, switched)
             return None
 
         def delivered(walk_state) -> bool:
             return walk_state[0] == destination
 
+        start_memo: Dict[ASN, Tuple] = {}
+
+        def _source_keys(asn: ASN) -> Tuple:
+            keys = start_memo.get(asn)
+            if keys is None:
+                keys = start_memo[asn] = (
+                    (asn, blue),
+                    (asn, blue_unstable),
+                    (asn, red),
+                    (asn, red_unstable),
+                )
+            return keys
+
+        def start(asn: ASN):
+            # Inlined initial_color with one fetch per route (this runs
+            # once per source per reclassification).  The reported
+            # reads follow the short-circuit order exactly: keys never
+            # consulted cannot change the decision.
+            if asn == destination:
+                return None, Outcome.DELIVERED, ()
+            key_b, key_ub, key_r, key_ur = _source_keys(asn)
+            blue_path = state_get(key_b)
+            blue_usable = bool(blue_path) and link_ok(asn, blue_path[0])
+            if blue_usable and not state_get(key_ub, False):
+                return (asn, blue, False), None, (key_b, key_ub)
+            red_path = state_get(key_r)
+            red_usable = bool(red_path) and link_ok(asn, red_path[0])
+            if red_usable and not state_get(key_ur, False):
+                return (asn, red, False), None, (key_b, key_ub, key_r, key_ur)
+            if blue_usable:
+                # Unstable blue beats unusable-or-unstable red.
+                reads = (key_b, key_ub, key_r, key_ur) if red_usable else (
+                    key_b, key_ub, key_r
+                )
+                return (asn, blue, False), None, reads
+            if red_usable:
+                return (asn, red, False), None, (key_b, key_r, key_ur)
+            return None, Outcome.BLACKHOLE, (key_b, key_r)
+
+        def key_fingerprint(state_key, value):
+            # Route entries: walks only look at the next hop.
+            # Instability flags: the full (boolean) value matters.
+            if type(state_key[1]) is Color:
+                return value[0] if value else None
+            return value
+
+        return WalkSpec(start, successor, delivered, reads_buf, key_fingerprint)
+
+    def classify(
+        self,
+        state: Dict,
+        ases: Iterable[ASN],
+        *,
+        failed_links: FrozenSet[Link] = frozenset(),
+        failed_ases: FrozenSet[ASN] = frozenset(),
+    ) -> Dict[ASN, Outcome]:
+        spec = self._walk_spec(state, failed_links, failed_ases)
         outcomes: Dict[ASN, Outcome] = {}
         memo: Dict[_WalkState, Outcome] = {}
         for asn in ases:
             if asn in failed_ases:
                 continue
-            if asn == destination:
-                outcomes[asn] = Outcome.DELIVERED
+            start_state, immediate, _ = spec.start(asn)
+            if start_state is None:
+                outcomes[asn] = immediate
                 continue
-            color = initial_color(asn)
-            if color is None:
-                outcomes[asn] = Outcome.BLACKHOLE
-                continue
-            start: _WalkState = (asn, color, False)
             classify_functional_graph(
-                [start], successor, delivered, memo=memo
+                [start_state], spec.successor, spec.delivered, memo=memo
             )
-            outcomes[asn] = memo[start]
+            outcomes[asn] = memo[start_state]
         return outcomes

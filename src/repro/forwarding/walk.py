@@ -7,13 +7,54 @@ failover paths).  Classifying every AS's packet fate then reduces to
 outcome propagation over a functional graph: a walk is DELIVERED if it
 reaches the destination, BLACKHOLE if it reaches a state with no
 successor, and LOOP if it revisits a state.
+
+Two engines share the successor abstraction:
+
+* :func:`classify_functional_graph` — per-source iterative walks with
+  on-path cycle detection (cheap for one or two sources);
+* :func:`classify_functional_graph_batch` — full-scan path: every
+  reachable state is indexed once (one successor call per state), the
+  successor map becomes an integer array, and outcomes are resolved by
+  vectorized pointer doubling on that array (numpy when available,
+  with a pure-Python fallback).  Terminal states point at one of two
+  absorbing sentinels; after ⌈log₂ n⌉ squarings every index has either
+  been absorbed (DELIVERED / BLACKHOLE) or provably rides a cycle
+  (LOOP).
+
+Dependency tracking (for incremental re-classification): rather than
+recording every snapshot read through a mapping wrapper — a
+Python-level call per read on the hottest path — each spec's closures
+append the keys they consult to :attr:`WalkSpec.reads_buf` inline (one
+C-level list append per read), and ``start`` returns its exact reads
+directly.  Under short-circuit evaluation the keys actually consulted
+fully determine a walk, so these exact read sets are sound dependency
+sets.  Specs additionally expose :attr:`WalkSpec.key_fingerprint`, the
+projection of a snapshot value onto what walks can observe of it (e.g.
+only a route's next hop): value changes with equal fingerprints cannot
+change any outcome and can be filtered before dependency lookup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Optional, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from repro.types import Outcome
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    _np = None
 
 State = TypeVar("State", bound=Hashable)
 
@@ -22,6 +63,52 @@ State = TypeVar("State", bound=Hashable)
 Successor = Callable[[Hashable], Optional[Hashable]]
 #: Terminal predicate: ``True`` when the packet has been delivered.
 Delivered = Callable[[Hashable], bool]
+#: Start mapping: source AS -> (initial walk state, immediate outcome,
+#: snapshot keys read).  Exactly one of the first two is non-``None``;
+#: an immediate outcome means the source never enters the walk (e.g.
+#: STAMP's colorless sources).  The keys are the exact reads made to
+#: decide — under short-circuit evaluation they fully determine the
+#: decision, so they are a sound dependency set.
+Start = Callable[[Hashable], Tuple[Optional[Hashable], Optional[Outcome], Tuple]]
+#: Projection of one snapshot value onto what walks can observe of it.
+KeyFingerprint = Callable[[Hashable, object], object]
+
+#: Sentinel successor markers used while indexing states.
+_DELIVERED_IDX = -2
+_BLACKHOLE_IDX = -1
+
+
+class WalkSpec:
+    """One snapshot's walk semantics.
+
+    ``start``/``successor``/``delivered`` define the walks; ``start``
+    reports its exact reads, ``successor`` appends each key it consults
+    to ``reads_buf`` (callers clear and snapshot the buffer around
+    calls), and ``key_fingerprint`` projects snapshot values onto what
+    the walks can observe of them.
+
+    Non-recording callers (``classify``/``classify_batch``) simply
+    ignore the buffer: one C-level append per read is cheaper than
+    maintaining a second, non-recording closure set per plane, and the
+    buffer's size is bounded by one call's scan (it dies with the
+    spec, which those callers build per call).
+    """
+
+    __slots__ = ("start", "successor", "delivered", "reads_buf", "key_fingerprint")
+
+    def __init__(
+        self,
+        start: Start,
+        successor: Successor,
+        delivered: Delivered,
+        reads_buf: List,
+        key_fingerprint: KeyFingerprint,
+    ) -> None:
+        self.start = start
+        self.successor = successor
+        self.delivered = delivered
+        self.reads_buf = reads_buf
+        self.key_fingerprint = key_fingerprint
 
 
 def classify_functional_graph(
@@ -70,47 +157,342 @@ def classify_functional_graph(
     return outcomes
 
 
-class ReadRecordingState:
-    """Mapping wrapper that records which state keys a walk reads.
+def _walk_outcome(
+    start: Hashable, successor: Successor, delivered: Delivered
+) -> Outcome:
+    """Outcome of one walk, without memo or path bookkeeping.
 
-    Every data plane consults the control-plane snapshot exclusively
-    through ``state.get``/``state[...]``, so the set of keys read while
-    classifying one source is exactly the set of trace keys its outcome
-    depends on: a walk is a deterministic function of the values it
-    reads, hence unchanged reads imply an unchanged outcome.  The
-    incremental transient analyzer uses this to re-classify only the
-    sources whose recorded keys changed.
+    Memo-free (the incremental analyzer re-walks one or two sources per
+    instant); the successor's read appends accumulate in the spec's
+    buffer as a side effect.
+    """
+    on_path: set = set()
+    state = start
+    while True:
+        if delivered(state):
+            return Outcome.DELIVERED
+        if state in on_path:
+            return Outcome.LOOP
+        on_path.add(state)
+        state = successor(state)
+        if state is None:
+            return Outcome.BLACKHOLE
+
+
+class BatchClassification:
+    """Indexed functional graph with resolved outcomes.
+
+    Built by :func:`classify_functional_graph_batch`.  Holds the state
+    index, the integer successor list (``-2`` delivered / ``-1``
+    blackhole / else next index), the outcome per index, and — when
+    ``state_keys`` was supplied — the dependency keys of each state,
+    from which per-source dependency sets are derived.
     """
 
-    __slots__ = ("_state", "reads")
+    __slots__ = ("index", "states", "succ", "outcomes", "reads", "_deps")
 
-    def __init__(self, state: Dict) -> None:
-        self._state = state
-        self.reads: set = set()
+    def __init__(
+        self,
+        index: Dict[Hashable, int],
+        states: List[Hashable],
+        succ: List[int],
+        outcomes: List[Outcome],
+        reads: Optional[List[Tuple]],
+    ) -> None:
+        self.index = index
+        self.states = states
+        self.succ = succ
+        self.outcomes = outcomes
+        self.reads = reads
+        self._deps: Dict[int, Set] = {}
 
-    def get(self, key, default=None):
-        self.reads.add(key)
-        return self._state.get(key, default)
+    def outcome_of(self, state: Hashable) -> Outcome:
+        """Resolved outcome of one indexed state."""
+        return self.outcomes[self.index[state]]
 
-    def __getitem__(self, key):
-        self.reads.add(key)
-        return self._state[key]
+    def deps_of(self, state: Hashable) -> Set:
+        """Union of dependency keys over states reachable from ``state``.
 
-    def __contains__(self, key) -> bool:
-        self.reads.add(key)
-        return key in self._state
+        A walk outcome is a deterministic function of the keys its
+        states read, so this is exactly the dependency set incremental
+        analyzers need.  Memoized per suffix; cycles share one union.
+        """
+        if self.reads is None:
+            raise ValueError("batch was classified without a reads buffer")
+        deps = self._deps
+        succ = self.succ
+        reads = self.reads
+        i = self.index[state]
+        if i in deps:
+            return deps[i]
+        path: List[int] = []
+        on_path: Dict[int, int] = {}
+        while i >= 0 and i not in deps and i not in on_path:
+            on_path[i] = len(path)
+            path.append(i)
+            i = succ[i]
+        if i >= 0 and i in on_path:
+            # Chain closed a cycle: every cycle state reaches exactly
+            # the cycle, so they all share one union.
+            cycle = path[on_path[i]:]
+            acc: Set = set()
+            for j in cycle:
+                acc.update(reads[j])
+            for j in cycle:
+                deps[j] = acc
+            path = path[: on_path[i]]
+        elif i >= 0:
+            acc = deps[i]
+        else:
+            acc = set()
+        for j in reversed(path):
+            acc = acc.union(reads[j])
+            deps[j] = acc
+        return deps[self.index[state]]
+
+
+def _resolve_outcomes_numpy(succ: List[int]) -> List[Outcome]:
+    """Pointer-doubling resolution of the successor array."""
+    n = len(succ)
+    deliv, bh = n, n + 1
+    arr = _np.empty(n + 2, dtype=_np.int64)
+    for i, s in enumerate(succ):
+        arr[i] = deliv if s == _DELIVERED_IDX else (bh if s == _BLACKHOLE_IDX else s)
+    arr[deliv] = deliv
+    arr[bh] = bh
+    # After k squarings arr[i] is the 2^k-th successor; any chain of
+    # length <= n+1 has been absorbed by a sentinel, so survivors loop.
+    steps = max(1, (n + 2).bit_length())
+    for _ in range(steps):
+        arr = arr[arr]
+    out: List[Outcome] = [Outcome.LOOP] * n
+    for i in _np.flatnonzero(arr[:n] == deliv).tolist():
+        out[i] = Outcome.DELIVERED
+    for i in _np.flatnonzero(arr[:n] == bh).tolist():
+        out[i] = Outcome.BLACKHOLE
+    return out
+
+
+def _resolve_outcomes_python(succ: List[int]) -> List[Outcome]:
+    """Index-based fallback resolution when numpy is unavailable."""
+    n = len(succ)
+    out: List[Optional[Outcome]] = [None] * n
+    for start in range(n):
+        if out[start] is not None:
+            continue
+        path: List[int] = []
+        on_path: Dict[int, int] = {}
+        i = start
+        while True:
+            if i == _DELIVERED_IDX:
+                result = Outcome.DELIVERED
+                break
+            if i == _BLACKHOLE_IDX:
+                result = Outcome.BLACKHOLE
+                break
+            if out[i] is not None:
+                result = out[i]
+                break
+            if i in on_path:
+                result = Outcome.LOOP
+                break
+            on_path[i] = len(path)
+            path.append(i)
+            i = succ[i]
+        for j in path:
+            out[j] = result
+    return out  # type: ignore[return-value]
+
+
+def classify_functional_graph_batch(
+    starts: Iterable[Hashable],
+    successor: Successor,
+    delivered: Delivered,
+    *,
+    reads_buf: Optional[List] = None,
+) -> BatchClassification:
+    """Index every state reachable from ``starts`` and resolve outcomes.
+
+    Each state's ``delivered``/``successor`` is evaluated exactly once
+    (the scalar engine re-walks shared suffixes per source); resolution
+    then runs on the integer successor array.  When ``reads_buf`` is
+    the spec's read buffer, each state's exact reads are captured for
+    :meth:`BatchClassification.deps_of` (delivered terminals read
+    nothing and contribute none).
+    """
+    index: Dict[Hashable, int] = {}
+    states: List[Hashable] = []
+    succ: List[int] = []
+    reads: Optional[List[Tuple]] = [] if reads_buf is not None else None
+    for start in starts:
+        if start not in index:
+            index[start] = len(states)
+            states.append(start)
+    i = 0
+    while i < len(states):
+        state = states[i]
+        if delivered(state):
+            succ.append(_DELIVERED_IDX)
+            if reads is not None:
+                reads.append(())
+        else:
+            if reads_buf is not None:
+                del reads_buf[:]
+            nxt = successor(state)
+            if nxt is None:
+                succ.append(_BLACKHOLE_IDX)
+            else:
+                j = index.get(nxt)
+                if j is None:
+                    j = index[nxt] = len(states)
+                    states.append(nxt)
+                succ.append(j)
+            if reads is not None:
+                reads.append(tuple(reads_buf))  # type: ignore[arg-type]
+        i += 1
+    if _np is not None:
+        outcomes = _resolve_outcomes_numpy(succ)
+    else:
+        outcomes = _resolve_outcomes_python(succ)
+    return BatchClassification(index, states, succ, outcomes, reads)
+
+
+class AnalysisSession:
+    """One plane's walk spec plus per-source walk memory, reused across
+    many scans of a mutating snapshot.
+
+    Trace replay classifies thousands of instants against the *same*
+    (mutating) state dict; rebuilding the plane's walk closures per
+    instant — let alone per source — dominates incremental scan cost.
+    Walks run directly over the raw mapping (C-level ``dict.get``) with
+    inline read appends; when a source's re-walk reads the same keys as
+    last time, its previous dependency set object is returned unchanged
+    so callers can skip index updates on identity.
+    """
+
+    __slots__ = ("plane", "spec", "state", "failed_links", "failed_ases", "_prev")
+
+    def __init__(
+        self, plane: "WalkClassifier", state: Dict, failed_links, failed_ases
+    ) -> None:
+        self.plane = plane
+        self.state = state
+        self.failed_links = failed_links
+        self.failed_ases = failed_ases
+        self.spec = plane._walk_spec(state, failed_links, failed_ases)
+        #: Per-source (start reads, walk reads, dependency set).
+        self._prev: Dict[Hashable, Tuple[Tuple, List, Set]] = {}
+
+    def rebind(self, state: Dict) -> None:
+        """Rebuild the spec's closures over a different state mapping.
+
+        No-op when ``state`` is the mapping already bound (callers may
+        rebind defensively per scan); an actual switch is rare — at
+        most twice per analysis (the replay dict, plus the detached
+        detection-instant copy) — so rebuilding the closures beats
+        paying an indirection on every snapshot read.
+        """
+        if state is self.state:
+            return
+        self.state = state
+        self.spec = self.plane._walk_spec(state, self.failed_links, self.failed_ases)
+
+    def classify_many(self, asns: Iterable) -> Dict[Hashable, Tuple[Outcome, set]]:
+        """Classify sources, reporting each one's dependency keys.
+
+        Returns ``{asn: (outcome, dependency keys)}``; the dependency
+        set is a superset of the keys actually read (see module notes).
+        Sources the plane refuses to classify (e.g. failed ASes) count
+        as BLACKHOLE.  Large requests switch to the batch engine.
+        """
+        asns = list(asns)
+        spec = self.spec
+        failed_ases = self.failed_ases
+        results: Dict[Hashable, Tuple[Outcome, set]] = {}
+        if len(asns) >= self.plane.BATCH_THRESHOLD:
+            return self._classify_many_batch(asns)
+        start = spec.start
+        successor = spec.successor
+        delivered = spec.delivered
+        reads_buf = spec.reads_buf
+        prev = self._prev
+        for asn in asns:
+            if asn in failed_ases:
+                results[asn] = (Outcome.BLACKHOLE, set())
+                continue
+            start_state, immediate, start_reads = start(asn)
+            if start_state is None:
+                outcome = immediate if immediate is not None else Outcome.BLACKHOLE
+                results[asn] = (outcome, set(start_reads))
+                continue
+            del reads_buf[:]
+            outcome = _walk_outcome(start_state, successor, delivered)
+            entry = prev.get(asn)
+            if entry is not None and entry[0] == start_reads and entry[1] == reads_buf:
+                # Identical reads: hand back the same set object so the
+                # caller's identity check can skip its index update.
+                deps = entry[2]
+            else:
+                walk_reads = list(reads_buf)
+                deps = set(start_reads)
+                deps.update(walk_reads)
+                prev[asn] = (start_reads, walk_reads, deps)
+            results[asn] = (outcome, deps)
+        return results
+
+    def _classify_many_batch(self, asns: List) -> Dict[Hashable, Tuple[Outcome, set]]:
+        spec = self.spec
+        failed_ases = self.failed_ases
+        results: Dict[Hashable, Tuple[Outcome, set]] = {}
+        start_info: List[Tuple[Hashable, Optional[Hashable], Optional[Outcome], Tuple]] = []
+        for asn in asns:
+            if asn in failed_ases:
+                start_info.append((asn, None, Outcome.BLACKHOLE, ()))
+                continue
+            start_state, immediate, start_reads = spec.start(asn)
+            start_info.append((asn, start_state, immediate, start_reads))
+        batch = classify_functional_graph_batch(
+            (s for _, s, _, _ in start_info if s is not None),
+            spec.successor,
+            spec.delivered,
+            reads_buf=spec.reads_buf,
+        )
+        for asn, start_state, immediate, start_reads in start_info:
+            if start_state is None:
+                outcome = immediate if immediate is not None else Outcome.BLACKHOLE
+                results[asn] = (outcome, set(start_reads))
+            else:
+                deps = set(start_reads)
+                deps |= batch.deps_of(start_state)
+                results[asn] = (batch.outcome_of(start_state), deps)
+        return results
 
 
 class WalkClassifier:
     """Base class for protocol-specific data planes.
 
     Subclasses define how a control-plane snapshot (the trace's state
-    dict) maps to successor/delivered functions; ``classify`` then
-    evaluates the packet fate of each requested AS.
+    dict) maps to start/successor/delivered functions via
+    :meth:`_walk_spec`; ``classify`` then evaluates the packet fate of
+    each requested AS, and the base class derives batch and
+    dependency-reporting variants from the same spec.
     """
+
+    #: Batch a dependency-reporting scan once this many sources are
+    #: requested (below it, per-source scalar walks win on constants).
+    BATCH_THRESHOLD = 24
 
     def __init__(self, destination) -> None:
         self.destination = destination
+
+    def _walk_spec(
+        self,
+        state: Dict,
+        failed_links: FrozenSet,
+        failed_ases: FrozenSet,
+    ) -> WalkSpec:
+        """Walk semantics for one snapshot (closures over ``state``)."""
+        raise NotImplementedError
 
     def classify(
         self,
@@ -123,6 +505,67 @@ class WalkClassifier:
         """Outcome per source AS under the given snapshot."""
         raise NotImplementedError
 
+    def classify_batch(
+        self,
+        state: Dict,
+        ases: Iterable,
+        *,
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+    ) -> Dict[Hashable, Outcome]:
+        """Full-scan classification via the vectorized batch engine.
+
+        Agrees with :meth:`classify` on every requested source but
+        evaluates each distinct walk state exactly once; failed sources
+        are skipped exactly as ``classify`` skips them.
+        """
+        spec = self._walk_spec(state, failed_links, failed_ases)
+        outcomes: Dict[Hashable, Outcome] = {}
+        walk_starts: List[Tuple[Hashable, Hashable]] = []
+        for asn in ases:
+            if asn in failed_ases:
+                continue
+            start_state, immediate, _ = spec.start(asn)
+            if start_state is None:
+                if immediate is not None:
+                    outcomes[asn] = immediate
+                continue
+            walk_starts.append((asn, start_state))
+        if walk_starts:
+            batch = classify_functional_graph_batch(
+                (s for _, s in walk_starts), spec.successor, spec.delivered
+            )
+            for asn, start_state in walk_starts:
+                outcomes[asn] = batch.outcome_of(start_state)
+        return outcomes
+
+    def analysis_session(
+        self,
+        state: Dict,
+        *,
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+    ) -> AnalysisSession:
+        """Build a reusable walk session for repeated scans."""
+        return AnalysisSession(self, state, failed_links, failed_ases)
+
+    def classify_many_recording(
+        self,
+        state: Dict,
+        asns: Iterable,
+        *,
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+    ) -> Dict[Hashable, Tuple[Outcome, set]]:
+        """Classify several sources, reporting their dependency keys.
+
+        One-shot convenience over :class:`AnalysisSession`; see
+        :meth:`AnalysisSession.classify_many` for the semantics.
+        """
+        return self.analysis_session(
+            state, failed_links=failed_links, failed_ases=failed_ases
+        ).classify_many(asns)
+
     def classify_one_recording(
         self,
         state: Dict,
@@ -131,13 +574,12 @@ class WalkClassifier:
         failed_links=frozenset(),
         failed_ases=frozenset(),
     ) -> "tuple[Outcome, set]":
-        """Classify one source and report the state keys it read.
+        """Classify one source and report its dependency keys.
 
-        Returns ``(outcome, keys_read)``.  Sources the plane refuses to
-        classify (e.g. failed ASes) count as BLACKHOLE.
+        Returns ``(outcome, dependency keys)``.  Sources the plane
+        refuses to classify (e.g. failed ASes) count as BLACKHOLE.
         """
-        recorder = ReadRecordingState(state)
-        outcomes = self.classify(
-            recorder, (asn,), failed_links=failed_links, failed_ases=failed_ases
+        results = self.classify_many_recording(
+            state, (asn,), failed_links=failed_links, failed_ases=failed_ases
         )
-        return outcomes.get(asn, Outcome.BLACKHOLE), recorder.reads
+        return results[asn]

@@ -13,7 +13,8 @@ like running two BGP processes on distinct TCP ports.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, Set, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Iterable, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.delays import DelayModel, UniformDelay
@@ -27,12 +28,57 @@ SessionDownListener = Callable[[ASN], None]
 
 
 class _Channel:
-    """One direction of one (possibly tagged) session."""
+    """One direction of one (possibly tagged) session.
 
-    __slots__ = ("last_delivery",)
+    Pooled across messages: the channel owns a FIFO queue and a single
+    bound ``deliver`` callback that the engine re-schedules per
+    message, instead of allocating a fresh delivery closure per send.
+    Per-channel delivery times are strictly increasing (FIFO epsilon),
+    so the queue's head is always the message belonging to the next
+    scheduled delivery.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "transport",
+        "src",
+        "dst",
+        "tag",
+        "last_delivery",
+        "queue",
+        "receiver",
+        "deliver",
+    )
+
+    def __init__(self, transport: "Transport", src: ASN, dst: ASN, tag: Hashable) -> None:
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.tag = tag
         self.last_delivery = 0.0
+        self.queue: Deque[Any] = deque()
+        #: Receiver resolved on first delivery (registrations are
+        #: register-once, so the binding can never change afterwards).
+        self.receiver: Receiver | None = None
+        #: The one bound method the engine schedules for every message.
+        self.deliver = self._deliver
+
+    def _deliver(self) -> None:
+        transport = self.transport
+        message = self.queue.popleft()
+        # Messages in flight across a failure are lost.
+        if not transport.link_is_up(self.src, self.dst):
+            transport.messages_lost += 1
+            return
+        receiver = self.receiver
+        if receiver is None:
+            receiver = transport._receivers.get((self.dst, self.tag))
+            if receiver is None:
+                raise SimulationError(
+                    f"no receiver for AS {self.dst} tag {self.tag!r}"
+                )
+            self.receiver = receiver
+        transport.messages_delivered += 1
+        receiver(self.src, message)
 
 
 class Transport:
@@ -151,21 +197,13 @@ class Transport:
         if not self.link_is_up(src, dst):
             self.messages_lost += 1
             return
-        channel = self._channels.setdefault((src, dst, tag), _Channel())
+        key = (src, dst, tag)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self._channels[key] = _Channel(self, src, dst, tag)
         delivery = self._engine.now + self._delay.sample(self._engine.rng)
         if delivery <= channel.last_delivery:
             delivery = channel.last_delivery + self.FIFO_EPSILON
         channel.last_delivery = delivery
-
-        def deliver() -> None:
-            # Messages in flight across a failure are lost.
-            if not self.link_is_up(src, dst):
-                self.messages_lost += 1
-                return
-            receiver = self._receivers.get((dst, tag))
-            if receiver is None:
-                raise SimulationError(f"no receiver for AS {dst} tag {tag!r}")
-            self.messages_delivered += 1
-            receiver(src, message)
-
-        self._engine.schedule_at(delivery, deliver)
+        channel.queue.append(message)
+        self._engine.schedule_at(delivery, channel.deliver)

@@ -91,6 +91,14 @@ class Outcome(enum.Enum):
         return self is not Outcome.DELIVERED
 
 
+# Enum.__hash__ is a Python-level call (hash of the member name) and
+# Color/Outcome sit inside dict keys and read-sets on the data-plane
+# walk hot path; members are singletons, so the C-level identity hash
+# is equivalent (equality is already identity) and much faster.
+Color.__hash__ = object.__hash__  # type: ignore[method-assign]
+Outcome.__hash__ = object.__hash__  # type: ignore[method-assign]
+
+
 def normalize_link(a: ASN, b: ASN) -> Link:
     """Canonical undirected representation of the link between two ASes."""
     return (a, b) if a <= b else (b, a)

@@ -6,6 +6,13 @@ import random
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running test (set REPRO_RUN_SLOW=1 to include)",
+    )
+
 from repro.bgp.network import NetworkConfig
 from repro.sim.delays import FixedDelay
 from repro.sim.timers import MRAIConfig

@@ -1,11 +1,15 @@
 """Golden determinism snapshot of a fixed-seed Figure 2 run.
 
-The perf refactor (indexed topology views, cached decision keys,
-memoized Φ, incremental transient analysis, heap compaction) must not
-change a single simulated event: a fixed-seed run has to produce
-byte-identical forwarding traces and message counts.  This test pins a
-fingerprint of one Figure 2 instance (all four protocols) that was
-captured from the pre-refactor implementation.
+The perf refactors (indexed topology views, cached decision keys,
+memoized Φ, incremental transient analysis, heap compaction, pooled
+transport channels, vectorized walk classification) must not change a
+single simulated event: a fixed-seed run has to produce byte-identical
+forwarding traces and message counts.  This test pins a fingerprint of
+one Figure 2 instance (all four protocols) that was captured from the
+pre-refactor implementation, plus the full-figure statistics of a
+two-instance ``fig2_single_link_failure`` under the string-hashed
+per-run seed scheme — and asserts the parallel path (``workers=4``)
+reproduces those statistics byte-for-byte.
 
 Regenerate (only when an *intentional* behavior change lands) with:
 
@@ -19,11 +23,33 @@ import json
 import random
 from pathlib import Path
 
-from repro.experiments.runner import PROTOCOLS, build_network
+from repro.experiments.figures import fig2_single_link_failure
+from repro.experiments.runner import ExperimentConfig, PROTOCOLS, build_network
 from repro.experiments.scenarios import single_provider_link_failure
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 
 GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "fig2_seed_golden.json"
+
+#: Instances for the full-figure stats section (kept small: the golden
+#: test runs in the tier-1 suite).
+FIG2_INSTANCES = 2
+
+
+def fig2_stats_fingerprint(workers: int) -> dict:
+    """Exact (repr-level) statistics of a small fixed-seed Figure 2."""
+    config = ExperimentConfig(seed=0, n_instances=FIG2_INSTANCES, workers=workers)
+    data = fig2_single_link_failure(config)
+    return {
+        "mean_affected": {p: repr(v) for p, v in data.mean_affected().items()},
+        "mean_convergence_time": {
+            p: repr(v) for p, v in data.mean_convergence_time().items()
+        },
+        "mean_updates": {p: repr(v) for p, v in data.mean_updates().items()},
+        "mean_initial_updates": {
+            p: repr(v) for p, v in data.mean_initial_updates().items()
+        },
+        "mean_disruption": {p: repr(v) for p, v in data.mean_disruption().items()},
+    }
 
 
 def _trace_sha(trace) -> str:
@@ -69,12 +95,19 @@ def compute_fingerprint() -> dict:
             "initial_time": repr(initial_time),
             "convergence_time": repr(convergence_time),
         }
+    fingerprint["fig2_stats"] = fig2_stats_fingerprint(workers=1)
     return fingerprint
 
 
 def test_fixed_seed_run_matches_seed_implementation():
     golden = json.loads(GOLDEN_PATH.read_text())
     assert compute_fingerprint() == golden
+
+
+def test_parallel_merge_matches_sequential_golden():
+    """workers=4 must reproduce the golden workers=1 stats exactly."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert fig2_stats_fingerprint(workers=4) == golden["fig2_stats"]
 
 
 if __name__ == "__main__":

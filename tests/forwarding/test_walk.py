@@ -67,3 +67,57 @@ class TestMemoization:
         assert outcomes[1] is Outcome.DELIVERED
         assert outcomes[4] is Outcome.LOOP
         assert outcomes[6] is Outcome.BLACKHOLE
+
+
+class TestBatchEngine:
+    """The vectorized batch classifier against the scalar engine."""
+
+    def batch(self, successors, starts, terminal):
+        from repro.forwarding.walk import classify_functional_graph_batch
+
+        result = classify_functional_graph_batch(
+            starts,
+            successor=lambda s: successors.get(s),
+            delivered=lambda s: s == terminal,
+        )
+        return {s: result.outcome_of(s) for s in starts}
+
+    def test_matches_scalar_on_mixed_shapes(self):
+        successors = {
+            1: 2, 2: 9,            # chain to destination
+            3: 4, 4: 3,            # two-cycle
+            5: 5,                  # self-loop
+            6: 3,                  # tail into cycle
+            7: 8,                  # 8 has no successor: blackhole
+        }
+        starts = [1, 3, 5, 6, 7, 9]
+        scalar = classify(successors, starts, terminal=9)
+        assert self.batch(successors, starts, terminal=9) == {
+            s: scalar[s] for s in starts
+        }
+
+    def test_long_chain(self):
+        n = 5000
+        successors = {i: i + 1 for i in range(n)}
+        outcomes = self.batch(successors, [0], terminal=n)
+        assert outcomes[0] is Outcome.DELIVERED
+
+    def test_python_fallback_matches_numpy(self, monkeypatch):
+        import repro.forwarding.walk as walk
+
+        successors = {1: 2, 2: 9, 3: 4, 4: 3, 5: 6}
+        starts = [1, 3, 5]
+        with_numpy = self.batch(successors, starts, terminal=9)
+        monkeypatch.setattr(walk, "_np", None)
+        assert self.batch(successors, starts, terminal=9) == with_numpy
+
+    def test_deps_require_reads_buffer(self):
+        import pytest
+
+        from repro.forwarding.walk import classify_functional_graph_batch
+
+        result = classify_functional_graph_batch(
+            [1], successor=lambda s: None, delivered=lambda s: False
+        )
+        with pytest.raises(ValueError):
+            result.deps_of(1)
