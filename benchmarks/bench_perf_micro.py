@@ -147,6 +147,54 @@ def test_graph_cold_view_rebuild(benchmark, graph, perf_records):
 
 
 # ----------------------------------------------------------------------
+# Layer 1.5 — event engine (timer wheel)
+# ----------------------------------------------------------------------
+
+
+def test_engine_timer_churn(benchmark, perf_records):
+    """MRAI-style arm/cancel/re-arm churn against the far timer wheel.
+
+    Every processed event cancels one armed far-future timer and arms a
+    replacement — the exact pattern per-peer MRAI pacing produces under
+    convergence churn.  With the timer wheel, cancel and re-arm are
+    O(1) dictionary operations and cancelled timers never reach the
+    event heap.
+    """
+    from repro.sim.engine import Engine
+
+    PEERS = 400
+    EVENTS = 4000
+
+    def run():
+        engine = Engine(seed=1)
+        armed: dict = {}
+
+        def churn(i: int) -> None:
+            slot = i % PEERS
+            handle = armed.get(slot)
+            if handle is not None:
+                handle.cancel()
+            armed[slot] = engine.schedule(
+                25.0 + (i % 7), lambda: None
+            )
+
+        for i in range(EVENTS):
+            engine.schedule(0.0005 * i, lambda i=i: churn(i))
+        engine.run(until=0.0005 * EVENTS)
+        return engine.events_processed
+
+    result = benchmark(run)
+    assert result == EVENTS
+    _record(
+        perf_records,
+        "engine_timer_churn",
+        benchmark,
+        events=EVENTS,
+        peers=PEERS,
+    )
+
+
+# ----------------------------------------------------------------------
 # Layer 2 — decision process
 # ----------------------------------------------------------------------
 

@@ -20,8 +20,8 @@ from repro.analysis.cdf import empirical_cdf
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 
 
-def main() -> None:
-    config = InternetTopologyConfig(seed=4)
+def main(config: InternetTopologyConfig | None = None) -> None:
+    config = config or InternetTopologyConfig(seed=4)
     graph, tiers = generate_internet_topology(config)
     print(f"Topology: {graph} with tier-1 clique {graph.tier1s()}")
 

@@ -6,7 +6,10 @@ provider-link failure scenario over several instances for BGP, R-BGP
 (with and without RCI) and STAMP, and renders the comparison as an
 ASCII bar chart.
 
-Run:  python examples/failure_comparison.py [n_instances]
+Run:  python examples/failure_comparison.py [n_instances] [workers]
+
+Pass ``workers`` > 1 to fan the (instance, protocol) grid over worker
+processes; any worker count produces byte-identical statistics.
 """
 
 import sys
@@ -17,14 +20,19 @@ from repro.experiments.runner import ExperimentConfig, PROTOCOL_LABELS
 from repro.topology.generators import InternetTopologyConfig
 
 
-def main() -> None:
-    instances = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+def main(
+    instances: int = 5,
+    workers: int = 1,
+    topology: InternetTopologyConfig | None = None,
+) -> None:
     config = ExperimentConfig(
         seed=7,
-        topology=InternetTopologyConfig(
+        topology=topology
+        or InternetTopologyConfig(
             seed=7, n_tier1=6, n_tier2=30, n_tier3=70, n_stub=250
         ),
         n_instances=instances,
+        workers=workers,
     )
     print(f"Simulating {instances} single-link-failure instances on a "
           f"{config.topology.total_ases}-AS topology (be patient)...")
@@ -46,4 +54,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(
+        instances=int(sys.argv[1]) if len(sys.argv) > 1 else 5,
+        workers=int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+    )

@@ -17,14 +17,16 @@ from repro.topology.inference import infer_relationships
 from repro.topology.routeviews import all_paths, dump_tables, parse_tables, synthesize_routeviews_tables
 
 
-def main() -> None:
-    config = InternetTopologyConfig(
+def main(
+    config: InternetTopologyConfig | None = None, n_vantages: int = 15
+) -> None:
+    config = config or InternetTopologyConfig(
         seed=33, n_tier1=5, n_tier2=20, n_tier3=50, n_stub=120
     )
     truth, _ = generate_internet_topology(config)
     print(f"Ground truth: {truth}")
 
-    tables = synthesize_routeviews_tables(truth, n_vantages=15, seed=2)
+    tables = synthesize_routeviews_tables(truth, n_vantages=n_vantages, seed=2)
     print(f"Synthesized {len(tables)} vantage-point tables "
           f"({sum(len(t.paths) for t in tables)} AS paths)")
 

@@ -14,8 +14,11 @@ from repro.analysis.deployment import (
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 
 
-def main() -> None:
-    config = InternetTopologyConfig(seed=12)
+def main(
+    config: InternetTopologyConfig | None = None,
+    trial_counts: tuple = (8, 32, 128),
+) -> None:
+    config = config or InternetTopologyConfig(seed=12)
     graph, _ = generate_internet_topology(config)
     print(f"Topology: {graph}, tier-1 core size {len(graph.tier1s())}")
 
@@ -23,7 +26,7 @@ def main() -> None:
     print(f"\nFull deployment (disjoint chain pair exists): {full:.3f}")
 
     print("\nTier-1-only deployment, by coloring trials:")
-    for trials in (8, 32, 128):
+    for trials in trial_counts:
         fraction = partial_deployment_fraction(graph, trials=trials, seed=5)
         print(f"  {trials:4d} trials: {fraction:.3f}   (paper: ~0.75)")
 

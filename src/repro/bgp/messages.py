@@ -19,22 +19,62 @@ from typing import Optional
 from repro.types import ASN, ASPath, EventType, Link
 
 
-@dataclass(frozen=True)
 class Announcement:
     """Route advertisement.
 
     ``path`` is announcer-first: ``path[0]`` is the sending AS,
     ``path[-1]`` the origin of the prefix.
+
+    Hand-written ``__slots__`` class (one instance per sent update is
+    the transport hot path); equality, hashing, repr, and immutability
+    match the former frozen dataclass.
     """
 
-    path: ASPath
-    et: EventType = EventType.NO_LOSS
-    lock: bool = False
-    root_cause: Optional[Link] = None
+    __slots__ = ("path", "et", "lock", "root_cause")
 
-    def __post_init__(self) -> None:
-        if not self.path:
+    def __init__(
+        self,
+        path: ASPath,
+        et: EventType = EventType.NO_LOSS,
+        lock: bool = False,
+        root_cause: Optional[Link] = None,
+    ) -> None:
+        if not path:
             raise ValueError("announcement path must be non-empty")
+        oset = object.__setattr__
+        oset(self, "path", path)
+        oset(self, "et", et)
+        oset(self, "lock", lock)
+        oset(self, "root_cause", root_cause)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Announcement is immutable (tried to set {name})")
+
+    def __reduce__(self):
+        # The immutability guard breaks slot-state pickling; rebuild
+        # through the constructor instead.
+        return (self.__class__, (self.path, self.et, self.lock, self.root_cause))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Announcement):
+            return NotImplemented
+        return (
+            self.path == other.path
+            and self.et == other.et
+            and self.lock == other.lock
+            and self.root_cause == other.root_cause
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.et, self.lock, self.root_cause))
+
+    def __repr__(self) -> str:
+        return (
+            f"Announcement(path={self.path!r}, et={self.et!r}, "
+            f"lock={self.lock!r}, root_cause={self.root_cause!r})"
+        )
 
     @property
     def sender(self) -> ASN:
@@ -42,7 +82,7 @@ class Announcement:
         return self.path[0]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Withdrawal:
     """Route withdrawal.  Withdrawals are always loss events (ET=0)."""
 

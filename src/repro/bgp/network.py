@@ -124,6 +124,22 @@ class BGPNetwork:
             ) from exc
         return self.engine.now - started
 
+    def dispose(self) -> None:
+        """Break the network's internal reference cycles.
+
+        A protocol network is a dense cyclic object graph (speakers ↔
+        transport ↔ pacers ↔ pooled callbacks), which only the cyclic
+        garbage collector could reclaim.  The experiment runner pauses
+        that collector during simulation for speed, so it disposes each
+        network when a run's results have been extracted — after this
+        call the network must not be used again, and its memory is
+        returned by plain reference counting.
+        """
+        self.transport.dispose()
+        for speaker in self.speakers.values():
+            speaker.dispose()
+        self.speakers.clear()
+
     # ------------------------------------------------------------------
     # Event injection
     # ------------------------------------------------------------------

@@ -9,15 +9,22 @@ route has an empty path and no ``learned_from``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.types import ASN, ASPath, EventType
 
 
-@dataclass(frozen=True)
 class Route:
     """One usable route, as stored in a RIB.
+
+    A hand-written ``__slots__`` class rather than a frozen dataclass:
+    one Route is allocated per accepted announcement, and the frozen
+    dataclass ``__init__`` (one ``object.__setattr__`` per field) was a
+    measurable slice of the message hot path.  Semantics are unchanged
+    — equality and hashing cover ``(path, learned_from, et, lock)``
+    exactly as the former dataclass's compare fields did, and instances
+    must be treated as immutable (they are shared between RIBs, the
+    decision process, and advertised-state caches).
 
     ``pref`` optionally carries the local preference of the announcing
     neighbor, computed once at Adj-RIB-In insertion from the speaker's
@@ -34,26 +41,52 @@ class Route:
     routes), so graph edits while RIBs hold routes are unsupported.
     """
 
-    path: ASPath
-    learned_from: Optional[ASN]
-    et: EventType = EventType.NO_LOSS
-    lock: bool = False
-    pref: Optional[int] = field(default=None, compare=False, repr=False)
-    base_key: Optional[Tuple[int, int, int]] = field(
-        default=None, compare=False, repr=False, init=False
-    )
+    __slots__ = ("path", "learned_from", "et", "lock", "pref", "base_key")
 
-    def __post_init__(self) -> None:
-        if self.learned_from is None:
-            if self.path:
+    def __init__(
+        self,
+        path: ASPath,
+        learned_from: Optional[ASN],
+        et: EventType = EventType.NO_LOSS,
+        lock: bool = False,
+        pref: Optional[int] = None,
+    ) -> None:
+        if learned_from is None:
+            if path:
                 raise ValueError("originated routes must have an empty path")
-        elif not self.path or self.path[0] != self.learned_from:
+        elif not path or path[0] != learned_from:
             raise ValueError("route path must start at the announcing neighbor")
-        if self.pref is not None:
-            neighbor = self.learned_from if self.learned_from is not None else -1
-            object.__setattr__(
-                self, "base_key", (-self.pref, len(self.path), neighbor)
-            )
+        self.path = path
+        self.learned_from = learned_from
+        self.et = et
+        self.lock = lock
+        self.pref = pref
+        self.base_key: Optional[Tuple[int, int, int]] = (
+            (-pref, len(path), learned_from if learned_from is not None else -1)
+            if pref is not None
+            else None
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self.path == other.path
+            and self.learned_from == other.learned_from
+            and self.et == other.et
+            and self.lock == other.lock
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.path, self.learned_from, self.et, self.lock))
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(path={self.path!r}, learned_from={self.learned_from!r}, "
+            f"et={self.et!r}, lock={self.lock!r})"
+        )
 
     @property
     def is_origin(self) -> bool:

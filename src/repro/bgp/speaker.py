@@ -12,6 +12,21 @@ without subclassing:
   proximate trigger was a loss (withdrawal, session reset, or an update
   carrying ET=0) sends updates with ET=0.
 
+Batching semantics of the export path: a best-route change marks every
+session whose Adj-RIB-Out went stale; when MRAI permits, the update is
+emitted synchronously with the export state computed *once* for that
+refresh (the pacer's :meth:`~repro.sim.timers.MRAIPacer.try_send_now`
+claims the slot), and otherwise the peer's pending changes coalesce
+behind the armed wheel timer until :meth:`BGPSpeaker._flush_peer`
+advertises the *net* change — a withdraw+announce churn pair inside
+one window collapses to the single message (or none) describing the
+final state.  Coalescing cannot reorder deliveries: every update to a
+peer travels on the same FIFO transport channel, and batching only
+elides intermediate Adj-RIB-Out states strictly *between* two emitted
+messages — it never delays one message past another, and the flush
+re-reads the latest state at fire time.  The fixed-seed golden test
+pins all of this to byte-identical traces.
+
 R-BGP extends the class (see :mod:`repro.rbgp.speaker`).
 """
 
@@ -20,9 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
 
-from repro.bgp.decision import best_route
+from repro.bgp.decision import best_route, route_sort_key
 from repro.bgp.messages import Announcement, Withdrawal
-from repro.bgp.policy import ORIGIN_PREFERENCE, export_allowed, import_accept
+from repro.bgp.policy import ORIGIN_PREFERENCE, import_accept
 from repro.bgp.ribs import AdjRibIn, Route
 from repro.sim.engine import Engine
 from repro.sim.timers import MRAIConfig, MRAIPacer
@@ -34,6 +49,7 @@ from repro.types import (
     EventType,
     Link,
     RELATIONSHIP_PREFERENCE,
+    Relationship,
     normalize_link,
 )
 
@@ -44,6 +60,9 @@ BestChangeListener = Callable[["BGPSpeaker", Optional[Route], Optional[Route], E
 
 #: What we last advertised to a peer: (path-including-self, lock bit).
 Advertised = Tuple[ASPath, bool]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` export.
+_UNSET = object()
 
 
 @dataclass
@@ -98,6 +117,7 @@ class BGPSpeaker:
         trace: Optional[ForwardingTrace] = None,
         stats: Optional[ProtocolStats] = None,
         export_gate: Optional[ExportGate] = None,
+        gate_peers: Optional[Iterable[ASN]] = None,
         on_best_change: Optional[BestChangeListener] = None,
     ) -> None:
         self.asn = asn
@@ -109,25 +129,62 @@ class BGPSpeaker:
         self.trace = trace
         self.stats = stats or ProtocolStats()
         self.export_gate = export_gate
+        #: Peers for which the gate must be consulted.  ``None`` with a
+        #: gate present means "every peer".  A gate owner whose policy
+        #: provably allows (no lock) everything outside a known peer set
+        #: (STAMP only restricts the provider direction) passes that set
+        #: so the batched class fan-out applies to the rest.
+        self.gate_peers: Optional[frozenset] = (
+            frozenset(gate_peers) if gate_peers is not None else None
+        )
         self.on_best_change = on_best_change
 
         self.sessions: Set[ASN] = set(
             sessions if sessions is not None else graph.neighbors(asn)
         )
+        #: Bumped on every session add/remove; lets coordinators (the
+        #: STAMP node) cache session-derived views with O(1) validity.
+        self.sessions_version: int = 0
         #: Cached ``sorted(self.sessions)``; rebuilt after session churn.
         self._sessions_sorted: Optional[Tuple[ASN, ...]] = None
-        #: Per-neighbor local preference, so route insertion (and hence
-        #: the decision process) does no graph lookups on the hot path.
+        #: Per-neighbor local preference and relationship, so neither
+        #: route insertion (and hence the decision process) nor the
+        #: valley-free export check does graph lookups on the hot path.
         self._pref_table: Dict[ASN, int] = {}
-        self._pref_version: int = -1
+        self._rel_table: Dict[ASN, Relationship] = {}
+        self._tables_version: int = -1
         self.adj_rib_in = AdjRibIn()
         self.best: Optional[Route] = None
+        #: Sort key of :attr:`best` (maintained by ``_run_decision``);
+        #: lets single-neighbor RIB changes update the selection in O(1)
+        #: instead of rescanning every candidate.
+        self._best_key: Optional[Tuple[int, int, int, int]] = None
+        #: Set when the Adj-RIB-In was mutated outside the per-message
+        #: bookkeeping (R-BGP's root-cause purge): forces a full rescan.
+        self._decision_dirty = False
         self.is_origin = False
+        #: ``(self.asn,) + best.path``, built lazily once per best-route
+        #: change instead of once per export evaluation.
+        self._export_path: Optional[ASPath] = None
         self._advertised: Dict[ASN, Advertised] = {}
         self._pending: Dict[ASN, _PendingContext] = {}
         self._pacer = MRAIPacer(engine, self.config.mrai, self._flush_peer)
 
         transport.register_receiver(asn, self.on_message, tag=tag)
+
+    def __getstate__(self):
+        """Pickle without derived caches (twin-start snapshots).
+
+        Everything dropped here is rebuilt lazily on first use;
+        restoring with cold caches is behavior-identical.
+        """
+        state = self.__dict__.copy()
+        state["_pref_table"] = {}
+        state["_rel_table"] = {}
+        state["_tables_version"] = -1
+        state["_sessions_sorted"] = None
+        state["_export_path"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Inputs
@@ -138,17 +195,38 @@ class BGPSpeaker:
         self.is_origin = True
         self._run_decision(EventType.NO_LOSS, None)
 
+    def _refresh_tables(self) -> None:
+        """Invalidate the per-neighbor caches after a graph mutation.
+
+        Only consulted on cache misses: graph topology must not change
+        while a simulation holds populated speaker caches (failures are
+        session events flowing through the transport, never graph
+        edits — the same contract :class:`repro.bgp.ribs.Route`
+        documents for its frozen ``pref``).
+        """
+        if self.graph.version != self._tables_version:
+            self._pref_table.clear()
+            self._rel_table.clear()
+            self._tables_version = self.graph.version
+
     def local_pref(self, neighbor: ASN) -> int:
         """Local preference toward a neighbor (cached per graph version)."""
-        if self.graph.version != self._pref_version:
-            self._pref_table.clear()
-            self._pref_version = self.graph.version
         pref = self._pref_table.get(neighbor)
         if pref is None:
-            rel = self.graph.relationship(self.asn, neighbor)
+            self._refresh_tables()
+            rel = self._neighbor_rel(neighbor)
             pref = RELATIONSHIP_PREFERENCE[rel]
             self._pref_table[neighbor] = pref
         return pref
+
+    def _neighbor_rel(self, neighbor: ASN) -> Relationship:
+        """Relationship toward a neighbor (cached per graph version)."""
+        rel = self._rel_table.get(neighbor)
+        if rel is None:
+            self._refresh_tables()
+            rel = self.graph.relationship(self.asn, neighbor)
+            self._rel_table[neighbor] = rel
+        return rel
 
     def sorted_sessions(self) -> Tuple[ASN, ...]:
         """Sessions in deterministic (ascending ASN) order, cached."""
@@ -162,24 +240,32 @@ class BGPSpeaker:
             return  # stale message from a torn-down session
         if isinstance(message, Announcement):
             if import_accept(self.asn, message.path):
-                self.adj_rib_in.update(
-                    sender,
-                    Route(
-                        path=message.path,
-                        learned_from=sender,
-                        et=message.et,
-                        lock=message.lock,
-                        pref=self.local_pref(sender),
-                    ),
+                route = Route(
+                    path=message.path,
+                    learned_from=sender,
+                    et=message.et,
+                    lock=message.lock,
+                    pref=self.local_pref(sender),
+                )
+                self.adj_rib_in.update(sender, route)
+                self._run_decision(
+                    message.et, message.root_cause,
+                    changed_neighbor=sender, new_route=route,
                 )
             else:
                 # A path through us means the neighbor no longer has an
                 # independent route: implicit withdrawal.
                 self.adj_rib_in.withdraw(sender)
-            self._run_decision(message.et, message.root_cause)
+                self._run_decision(
+                    message.et, message.root_cause,
+                    changed_neighbor=sender, new_route=None,
+                )
         elif isinstance(message, Withdrawal):
             self.adj_rib_in.withdraw(sender)
-            self._run_decision(message.et, message.root_cause)
+            self._run_decision(
+                message.et, message.root_cause,
+                changed_neighbor=sender, new_route=None,
+            )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {message!r}")
 
@@ -188,18 +274,25 @@ class BGPSpeaker:
         if peer not in self.sessions:
             return
         self.sessions.discard(peer)
+        self.sessions_version += 1
         self._sessions_sorted = None
         self._pacer.cancel(peer)
         self._advertised.pop(peer, None)
         self._pending.pop(peer, None)
         self.adj_rib_in.withdraw(peer)
-        self._run_decision(EventType.LOSS, normalize_link(self.asn, peer))
+        self._run_decision(
+            EventType.LOSS,
+            normalize_link(self.asn, peer),
+            changed_neighbor=peer,
+            new_route=None,
+        )
 
     def on_session_up(self, peer: ASN) -> None:
         """(Re-)establish a session and advertise our current state."""
         if peer in self.sessions:
             return
         self.sessions.add(peer)
+        self.sessions_version += 1
         self._sessions_sorted = None
         self.refresh_peer(peer)
 
@@ -212,16 +305,81 @@ class BGPSpeaker:
             return [Route(path=(), learned_from=None, pref=ORIGIN_PREFERENCE)]
         return self.adj_rib_in.routes()
 
-    def _run_decision(self, cause_et: EventType, root_cause: Optional[Link]) -> None:
-        new = best_route(
-            self.graph,
-            self.asn,
-            self._candidates(),
-            prefer_locked=self.config.prefer_locked,
-        )
+    def _rescan_best(self) -> Optional[Route]:
+        """Full candidate scan; also refreshes the cached best key."""
+        prefer_locked = self.config.prefer_locked
+        graph, asn = self.graph, self.asn
+        best: Optional[Route] = None
+        best_key = None
+        for route in self.adj_rib_in.routes():
+            key = route_sort_key(graph, asn, route, prefer_locked=prefer_locked)
+            if best_key is None or key < best_key:
+                best, best_key = route, key
+        self._best_key = best_key
+        return best
+
+    def _run_decision(
+        self,
+        cause_et: EventType,
+        root_cause: Optional[Link],
+        *,
+        changed_neighbor: Optional[ASN] = None,
+        new_route: Optional[Route] = None,
+    ) -> None:
+        """Re-select the best route and react to a change.
+
+        ``changed_neighbor`` (when given) asserts that this decision was
+        triggered by a single Adj-RIB-In mutation for that neighbor,
+        enabling the O(1) incremental update: the sort key totally
+        orders candidates (the neighbor ASN is its last component), so
+        comparing the changed route against the cached best key is
+        exact.  Any out-of-band RIB mutation (R-BGP's root-cause purge)
+        sets ``_decision_dirty`` and forces the full rescan.
+        """
+        if self.is_origin:
+            if self.best is not None:
+                return  # the originated route never changes
+            new: Optional[Route] = best_route(
+                self.graph,
+                self.asn,
+                self._candidates(),
+                prefer_locked=self.config.prefer_locked,
+            )
+        elif (
+            changed_neighbor is None
+            or self._decision_dirty
+            or self.best is None
+            or self._best_key is None
+            or changed_neighbor == self.best.learned_from
+        ):
+            self._decision_dirty = False
+            new = self._rescan_best()
+        elif new_route is None:
+            # Withdrawal of a non-best neighbor: selection unchanged.
+            return
+        else:
+            base = new_route.base_key
+            if base is None:
+                key = route_sort_key(
+                    self.graph,
+                    self.asn,
+                    new_route,
+                    prefer_locked=self.config.prefer_locked,
+                )
+            else:
+                # Inline route_sort_key's cached-base composition.
+                lock_rank = (
+                    0 if (self.config.prefer_locked and new_route.lock) else 1
+                )
+                key = (base[0], lock_rank, base[1], base[2])
+            if key >= self._best_key:  # type: ignore[operator]
+                return  # updated route does not beat the current best
+            new = new_route
+            self._best_key = key
         if new == self.best:
             return
         old, self.best = self.best, new
+        self._export_path = None  # rebuilt lazily on the next export
         et_out = EventType.LOSS if cause_et is EventType.LOSS else EventType.NO_LOSS
         self._record_best_change(old, new)
         if self.on_best_change is not None:
@@ -244,59 +402,178 @@ class BGPSpeaker:
     # ------------------------------------------------------------------
 
     def export_for(self, peer: ASN) -> Optional[Advertised]:
-        """What we should currently be advertising to a peer."""
-        if self.best is None or peer not in self.sessions:
+        """What we should currently be advertising to a peer.
+
+        The valley-free rule runs inline on the cached per-neighbor
+        relationship table (identical semantics to
+        :func:`repro.bgp.policy.export_allowed`), and the advertised
+        path tuple is shared across peers via :attr:`_export_path` —
+        one allocation per best-route change rather than one per
+        evaluation.
+        """
+        best = self.best
+        if best is None or peer not in self.sessions:
             return None
-        if not export_allowed(self.graph, self.asn, self.best, peer):
-            return None
+        learned_from = best.learned_from
+        if learned_from == peer:
+            return None  # never reflect a route back to its announcer
+        if self._neighbor_rel(peer) is not Relationship.CUSTOMER:
+            # Peer/provider-learned routes are exported to customers only.
+            if learned_from is not None and (
+                self._neighbor_rel(learned_from) is not Relationship.CUSTOMER
+            ):
+                return None
         lock = False
-        if self.export_gate is not None:
-            allow, lock = self.export_gate(peer, self.best)
+        if self.export_gate is not None and (
+            self.gate_peers is None or peer in self.gate_peers
+        ):
+            allow, lock = self.export_gate(peer, best)
             if not allow:
                 return None
-        return ((self.asn,) + self.best.path, lock)
+        path = self._export_path
+        if path is None:
+            path = self._export_path = (self.asn,) + best.path
+        return (path, lock)
 
     def schedule_exports(
         self,
         et: EventType = EventType.NO_LOSS,
         root_cause: Optional[Link] = None,
     ) -> None:
-        """Queue (MRAI-paced) re-advertisement to every stale peer."""
+        """Queue (MRAI-paced) re-advertisement to every stale peer.
+
+        Without an export gate, the valley-free rule gives every peer in
+        the same relationship class the same desired advertisement (the
+        route's announcer excepted), so the per-decision fan-out
+        evaluates the export once per *class* instead of once per peer
+        and then only compares against each peer's advertised state.
+        Gated (STAMP) speakers take the per-peer evaluation, but only
+        for the peers inside :attr:`gate_peers` (STAMP's coloring is
+        peer-specific toward providers only); a gate without a declared
+        peer scope gates everything.
+        """
+        gate_peers: frozenset = frozenset()
+        if self.export_gate is not None:
+            if self.gate_peers is None:
+                for peer in self.sorted_sessions():
+                    self.refresh_peer(peer, et=et, root_cause=root_cause)
+                return
+            gate_peers = self.gate_peers
+        best = self.best
+        learned_from: Optional[ASN] = None
+        desired_customer: Optional[Advertised] = None
+        desired_other: Optional[Advertised] = None
+        rel = self._neighbor_rel
+        if best is not None:
+            learned_from = best.learned_from
+            path = self._export_path
+            if path is None:
+                path = self._export_path = (self.asn,) + best.path
+            desired_customer = (path, False)
+            if learned_from is None or rel(learned_from) is Relationship.CUSTOMER:
+                desired_other = desired_customer
+        advertised_get = self._advertised.get
+        pending = self._pending
         for peer in self.sorted_sessions():
-            self.refresh_peer(peer, et=et, root_cause=root_cause)
+            if peer in gate_peers:
+                self.refresh_peer(peer, et=et, root_cause=root_cause)
+                continue
+            if peer == learned_from:
+                desired = None
+            elif rel(peer) is Relationship.CUSTOMER:
+                desired = desired_customer
+            else:
+                desired = desired_other
+            if desired == advertised_get(peer):
+                pending.pop(peer, None)
+            else:
+                self._dispatch_update(peer, desired, et, root_cause)
 
     def refresh_peer(
         self,
         peer: ASN,
         et: EventType = EventType.NO_LOSS,
         root_cause: Optional[Link] = None,
+        *,
+        desired: object = _UNSET,
     ) -> None:
         """Re-advertise to one peer if our exported state went stale.
 
         STAMP's node-level coordination calls this when the color
         assignment of a provider changes without this process's own
-        best route changing.
+        best route changing; callers that already evaluated
+        :meth:`export_for` in the same synchronous step may pass the
+        result via ``desired`` to skip re-evaluating it (and, for gated
+        speakers, re-invoking the gate).
+
+        This is the speaker's coalescing point.  The desired Adj-RIB-Out
+        state is computed exactly once; when MRAI allows an immediate
+        send the update goes out synchronously with that precomputed
+        state (no second export evaluation), and otherwise the peer is
+        marked pending and the armed wheel timer absorbs every further
+        change until it fires — at which point :meth:`_flush_peer`
+        re-reads the *latest* state, so a withdraw+announce churn pair
+        inside one MRAI window collapses into the single message (or no
+        message) describing the net change.
         """
         if peer not in self.sessions:
             return
-        desired = self.export_for(peer)
+        if desired is _UNSET:
+            desired = self.export_for(peer)
         if desired == self._advertised.get(peer):
             self._pending.pop(peer, None)
             return
-        context = self._pending.setdefault(peer, _PendingContext())
-        context.merge(et, root_cause)
-        self._pacer.request_send(peer, is_withdrawal=desired is None)
+        self._dispatch_update(peer, desired, et, root_cause)
+
+    def _dispatch_update(
+        self,
+        peer: ASN,
+        desired: Optional[Advertised],
+        et: EventType,
+        root_cause: Optional[Link],
+    ) -> None:
+        """Send now if MRAI allows, else coalesce behind the armed timer."""
+        if self._pacer.try_send_now(peer, is_withdrawal=desired is None):
+            context = self._pending.pop(peer, None)
+            if context is not None:
+                context.merge(et, root_cause)
+                et, root_cause = context.et, context.root_cause
+            self._emit_update(peer, desired, et, root_cause)
+        else:
+            # Timer armed: remember the strongest pending event context
+            # for the eventual batched flush.
+            context = self._pending.setdefault(peer, _PendingContext())
+            context.merge(et, root_cause)
 
     def _flush_peer(self, peer: ASN) -> None:
+        """Batched MRAI flush: advertise the peer's net pending change.
+
+        Runs when an armed MRAI timer fires.  All Adj-RIB-Out changes
+        that accumulated while the timer was armed are represented by
+        the single current ``export_for`` state, so the peer receives
+        at most one message per flush.  Coalescing cannot reorder
+        deliveries: the flush sends on the same FIFO channel as every
+        immediate update, and only intermediate states — never emitted
+        messages — are elided.
+        """
         if peer not in self.sessions:
             return
         context = self._pending.pop(peer, None)
         desired = self.export_for(peer)
-        previous = self._advertised.get(peer)
-        if desired == previous:
-            return
+        if desired == self._advertised.get(peer):
+            return  # churn cancelled out within the MRAI window
         et = context.et if context else EventType.NO_LOSS
         root_cause = context.root_cause if context else None
+        self._emit_update(peer, desired, et, root_cause)
+
+    def _emit_update(
+        self,
+        peer: ASN,
+        desired: Optional[Advertised],
+        et: EventType,
+        root_cause: Optional[Link],
+    ) -> None:
+        """Send the one update message that moves a peer to ``desired``."""
         if desired is None:
             del self._advertised[peer]
             self.stats.withdrawals += 1
@@ -325,6 +602,12 @@ class BGPSpeaker:
         return Announcement(path=path, et=et, lock=lock, root_cause=root_cause)
 
     # ------------------------------------------------------------------
+
+    def dispose(self) -> None:
+        """Break this speaker's reference cycles (see network dispose)."""
+        self._pacer.dispose()
+        self.export_gate = None
+        self.on_best_change = None
 
     def is_advertising(self, peer: ASN) -> bool:
         """Whether we currently have a route advertised to a peer."""

@@ -21,16 +21,32 @@ pool:
 ``workers <= 1`` runs the identical unit loop in-process; the pool is
 also skipped for single-unit grids, and environments that cannot spawn
 processes fall back to the in-process loop.
+
+Units run with the cyclic garbage collector paused
+(:func:`_cyclic_gc_paused`): simulations allocate heavily but every
+network breaks its own reference cycles on ``dispose()``, so pausing
+trades no memory for a double-digit-percentage speedup.  Neither the
+pool fan-out nor the GC pause can affect results — each unit is a
+pure function of ``(graph, seed, kind, instance, protocol)`` and the
+merge is canonical, so any configuration is byte-identical to the
+sequential, collector-enabled run (golden-test pinned).
 """
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import multiprocessing
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ProtocolRun, derive_run_seed, run_scenario
+from repro.experiments.runner import (
+    ProtocolRun,
+    clear_twin_start_cache,
+    derive_run_seed,
+    run_scenario,
+)
 from repro.topology.graph import ASGraph
 from repro.topology.serialization import graph_from_bytes, graph_to_bytes
 
@@ -45,6 +61,28 @@ _WORKER_GRAPH: Optional[ASGraph] = None
 def _init_worker(graph_payload: bytes) -> None:
     global _WORKER_GRAPH
     _WORKER_GRAPH = graph_from_bytes(graph_payload)
+
+
+@contextlib.contextmanager
+def _cyclic_gc_paused() -> Iterator[None]:
+    """Pause the cyclic garbage collector around simulation units.
+
+    A protocol simulation allocates hundreds of thousands of tracked
+    objects (routes, messages, event tuples); with the collector
+    enabled, generational scans account for a double-digit percentage
+    of end-to-end figure time.  Pausing is safe because every network
+    is explicitly ``dispose()``d when its unit finishes — the cycles
+    the collector would have to find are broken by hand, and memory
+    returns through reference counting.  The previous collector state
+    is restored on exit, even on error.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 def run_unit(
@@ -72,7 +110,8 @@ def run_unit(
 def _run_unit_in_worker(unit: WorkUnit) -> ProtocolRun:
     builder, kind, seed, instance, protocol = unit
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
-    return run_unit(_WORKER_GRAPH, builder, kind, seed, instance, protocol)
+    with _cyclic_gc_paused():
+        return run_unit(_WORKER_GRAPH, builder, kind, seed, instance, protocol)
 
 
 @dataclass(frozen=True)
@@ -81,11 +120,22 @@ class ParallelRunner:
 
     workers: int = 1
 
+    @staticmethod
+    def _run_inprocess(graph: ASGraph, units: List[WorkUnit]) -> List[ProtocolRun]:
+        """Sequential unit loop (GC paused, twin cache grid-scoped)."""
+        try:
+            with _cyclic_gc_paused():
+                return [run_unit(graph, *unit) for unit in units]
+        finally:
+            # A twin-start snapshot whose twin never ran must not
+            # outlive the grid that parked it.
+            clear_twin_start_cache()
+
     def run_units(self, graph: ASGraph, units: Sequence[WorkUnit]) -> List[ProtocolRun]:
         """Run all units; the result list matches the unit order."""
         units = list(units)
         if self.workers <= 1 or len(units) <= 1:
-            return [run_unit(graph, *unit) for unit in units]
+            return self._run_inprocess(graph, units)
         workers = min(self.workers, len(units))
         payload = graph_to_bytes(graph)
         try:
@@ -99,7 +149,7 @@ class ParallelRunner:
         except OSError:
             # Sandboxed environments without process support: degrade
             # to the identical in-process loop.
-            return [run_unit(graph, *unit) for unit in units]
+            return self._run_inprocess(graph, units)
 
     def run_failure_comparison(
         self,

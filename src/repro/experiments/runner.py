@@ -1,8 +1,24 @@
-"""Run one failure scenario under one protocol and count the damage."""
+"""Run one failure scenario under one protocol and count the damage.
+
+The two R-BGP variants (``rbgp`` / ``rbgp-norci``) differ only in how
+they react to root-cause information, which cannot exist before the
+first failure — so their *initial convergence* is one and the same
+computation.  ``run_scenario`` exploits that: after starting one
+variant it snapshots the converged network (a pickle with the topology
+shared by reference) and restores the snapshot for the twin, flipping
+the ``rci`` flag, instead of re-simulating an identical start.  The
+sharing is gated on :meth:`repro.rbgp.network.RBGPNetwork
+.start_is_rci_invariant` — a per-speaker runtime proof that no
+RCI-sensitive code path was reached — and falls back to a fresh start
+otherwise, so results are byte-identical either way (the golden
+determinism test pins this).
+"""
 
 from __future__ import annotations
 
 import hashlib
+import io
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -132,6 +148,61 @@ def build_network(
     raise ConfigurationError(f"unknown protocol {protocol!r}")
 
 
+class _StartSnapshot:
+    """A started network, pickled with the topology shared by reference.
+
+    The graph is replaced by a persistent-id token during pickling and
+    re-bound to the *same* :class:`ASGraph` object on restore, so the
+    snapshot costs only the protocol state (RIBs, channels, RNG), not a
+    topology copy — and the restored network keeps using the caller's
+    indexed graph views.
+    """
+
+    _GRAPH_TOKEN = "graph"
+
+    def __init__(self, network, graph: ASGraph) -> None:
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.persistent_id = (
+            lambda obj: self._GRAPH_TOKEN if obj is graph else None
+        )
+        pickler.dump(network)
+        self._payload = buffer.getvalue()
+        self._graph = graph
+
+    def restore(self):
+        unpickler = pickle.Unpickler(io.BytesIO(self._payload))
+        unpickler.persistent_load = lambda pid: self._graph
+        return unpickler.load()
+
+
+#: Single-slot cache for R-BGP twin-start sharing:
+#: (graph, graph version, destination, seed, restored links) ->
+#: (snapshot, initial convergence time).  One slot suffices — the twin
+#: runs back-to-back within one instance — and bounds memory to one
+#: pickled payload (sub-MB; the graph is held by reference, and the
+#: network itself is never retained live).  A new rbgp-family start
+#: overwrites it; grid runners clear it when a figure completes (see
+#: :func:`clear_twin_start_cache`), so a snapshot whose twin never ran
+#: does not outlive its figure.
+_RBGP_START_SLOT: Optional[Tuple[Tuple, _StartSnapshot, float]] = None
+
+
+def clear_twin_start_cache() -> None:
+    """Drop any parked twin-start snapshot (end of a figure grid)."""
+    global _RBGP_START_SLOT
+    _RBGP_START_SLOT = None
+
+_RBGP_PROTOCOLS = frozenset({"rbgp", "rbgp-norci"})
+
+
+def _rbgp_start_key(graph: ASGraph, scenario: Scenario, seed: int) -> Tuple:
+    restored = tuple(
+        sorted(normalize_link(a, b) for a, b in scenario.restored_links)
+    )
+    return (graph, graph.version, scenario.destination, seed, restored)
+
+
 def run_scenario(
     graph: ASGraph,
     scenario: Scenario,
@@ -141,17 +212,44 @@ def run_scenario(
     network_config: Optional[NetworkConfig] = None,
 ) -> ProtocolRun:
     """Simulate one scenario under one protocol; analyze the trace."""
-    network, plane = build_network(
-        protocol,
-        graph,
-        scenario.destination,
-        seed=seed,
-        network_config=network_config,
-    )
-    # Links that will *recover* during the event start out failed.
-    for a, b in scenario.restored_links:
-        network.transport.fail_link(a, b)
-    initial_convergence_time = network.start()
+    global _RBGP_START_SLOT
+    network = None
+    plane = None
+    initial_convergence_time = 0.0
+    shareable = protocol in _RBGP_PROTOCOLS and network_config is None
+    if shareable:
+        key = _rbgp_start_key(graph, scenario, seed)
+        slot = _RBGP_START_SLOT
+        if (
+            slot is not None
+            and slot[0][0] is key[0]
+            and slot[0][1:] == key[1:]
+        ):
+            _RBGP_START_SLOT = None  # consume: the twin runs once
+            network = slot[1].restore()
+            network.set_rci(protocol == "rbgp")
+            initial_convergence_time = slot[2]
+            plane = RBGPDataPlane(
+                scenario.destination, rci=(protocol == "rbgp"), graph=graph
+            )
+    if network is None:
+        network, plane = build_network(
+            protocol,
+            graph,
+            scenario.destination,
+            seed=seed,
+            network_config=network_config,
+        )
+        # Links that will *recover* during the event start out failed.
+        for a, b in scenario.restored_links:
+            network.transport.fail_link(a, b)
+        initial_convergence_time = network.start()
+        if shareable and network.start_is_rci_invariant():
+            _RBGP_START_SLOT = (
+                _rbgp_start_key(graph, scenario, seed),
+                _StartSnapshot(network, graph),
+                initial_convergence_time,
+            )
 
     initial_state = network.forwarding_state()
     announcements_before = network.stats.announcements
@@ -177,13 +275,18 @@ def run_scenario(
         failed_links=failed_links,
         failed_ases=failed_ases,
     )
+    announcements_after = network.stats.announcements
+    withdrawals_after = network.stats.withdrawals
+    # The run is fully extracted; break the network's cycles so its
+    # memory frees by refcount even while cyclic GC is paused.
+    network.dispose()
     return ProtocolRun(
         protocol=protocol,
         scenario=scenario,
         report=report,
         convergence_time=convergence_time,
-        announcements=network.stats.announcements - announcements_before,
-        withdrawals=network.stats.withdrawals - withdrawals_before,
+        announcements=announcements_after - announcements_before,
+        withdrawals=withdrawals_after - withdrawals_before,
         initial_updates=announcements_before + withdrawals_before,
         initial_convergence_time=initial_convergence_time,
     )

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from repro.types import ASN, ASPath
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailoverAnnouncement:
     """Advertise the sender's most disjoint alternate path.
 
@@ -30,6 +30,6 @@ class FailoverAnnouncement:
         return self.path[0]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailoverWithdrawal:
     """Retract a previously advertised failover path."""

@@ -28,6 +28,27 @@ class RBGPNetwork(BGPNetwork):
         self.rci = rci
         super().__init__(graph, destination, config)
 
+    def start_is_rci_invariant(self) -> bool:
+        """Whether the run so far was provably independent of ``rci``.
+
+        RCI can only influence behavior at two guarded points (stale-FIB
+        retention and the failover-advertisement hold-back); every
+        speaker records when such a point was actually reached.  If none
+        was, the full network state is bit-identical between the
+        ``rci=True`` and ``rci=False`` variants, and one initial
+        convergence can serve both (the experiment runner's twin-start
+        sharing).
+        """
+        return not any(
+            speaker.rci_sensitive_state for speaker in self.speakers.values()
+        )
+
+    def set_rci(self, rci: bool) -> None:
+        """Switch the RCI variant of every speaker (twin-start restore)."""
+        self.rci = rci
+        for speaker in self.speakers.values():
+            speaker.rci = rci
+
     def _make_speaker(self, asn: ASN, speaker_config: SpeakerConfig) -> RBGPSpeaker:
         return RBGPSpeaker(
             asn,

@@ -7,7 +7,7 @@ from typing import Dict, Optional, Tuple
 from repro.bgp.decision import route_sort_key
 from repro.bgp.messages import Announcement, Withdrawal
 from repro.bgp.ribs import Route
-from repro.bgp.speaker import BGPSpeaker
+from repro.bgp.speaker import BGPSpeaker, _UNSET
 from repro.forwarding.rbgp_plane import FAILOVER, PRIMARY
 from repro.rbgp.messages import FailoverAnnouncement, FailoverWithdrawal
 from repro.types import ASN, ASPath, Link, normalize_link
@@ -38,6 +38,12 @@ class RBGPSpeaker(BGPSpeaker):
     def __init__(self, *args, rci: bool = True, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.rci = rci
+        #: Memoized link sets of ``(self.asn,) + path`` keyed by the
+        #: path tuple.  Paths recur heavily across decisions (the same
+        #: Adj-RIB-In routes are re-examined by every failover
+        #: computation), and the mapping is pure, so entries never
+        #: invalidate.
+        self._full_links_cache: Dict[ASPath, frozenset] = {}
         #: Links learned (via RCI) to be down; paths through them are
         #: rejected until the session state changes again.
         self.known_bad_links: set = set()
@@ -50,8 +56,49 @@ class RBGPSpeaker(BGPSpeaker):
         self.fib_path: Optional[ASPath] = None
         #: Failover paths received from upstream neighbors.
         self.failover_rib: Dict[ASN, ASPath] = {}
-        #: (target neighbor, advertised path) of our last failover ad.
+        #: (target neighbor, advertised path *excluding ourselves*) of
+        #: our last failover advertisement; the self-prefixed wire path
+        #: is built only when a message actually goes out.
         self._failover_sent: Optional[Tuple[ASN, ASPath]] = None
+        #: Incrementally-maintained failover selection (route, sort key)
+        #: plus the best-route object it was computed under; a single
+        #: Adj-RIB-In change updates it in O(1) like the decision
+        #: process, with full rescans only when the primary path moved,
+        #: the cached choice itself was touched, or RCI purged the RIB.
+        self._failover_route: Optional[Route] = None
+        self._failover_key: Optional[Tuple] = None
+        self._failover_valid = False
+        self._failover_best_token: Optional[Route] = None
+        #: True once this speaker hit a state where RCI and no-RCI
+        #: *could* behave differently: a best route vanishing while
+        #: stale data-plane/failover state existed, a root-caused
+        #: message arriving, or a session going down (purge /
+        #: known-bad-links divergence).  The known-bad-links branches in
+        #: :meth:`on_message` are covered transitively — that set can
+        #: only become non-empty through one of the flagged events.
+        #: While False, the speaker's entire evolution is provably
+        #: identical for ``rci=True`` and ``rci=False`` — the experiment
+        #: runner uses this to share one initial convergence between the
+        #: two R-BGP variants (see :mod:`repro.experiments.runner`).
+        self.rci_sensitive_state = False
+
+    def __getstate__(self):
+        """Extend the base speaker's cache-free pickling (snapshots)."""
+        state = super().__getstate__()
+        state["_full_links_cache"] = {}
+        state["_failover_route"] = None
+        state["_failover_key"] = None
+        state["_failover_valid"] = False
+        state["_failover_best_token"] = None
+        return state
+
+    def _full_path_links(self, path: ASPath) -> frozenset:
+        """Links of ``(self.asn,) + path``, memoized per path tuple."""
+        links = self._full_links_cache.get(path)
+        if links is None:
+            links = path_links((self.asn,) + path)
+            self._full_links_cache[path] = links
+        return links
 
     # ------------------------------------------------------------------
     # Message handling
@@ -69,8 +116,12 @@ class RBGPSpeaker(BGPSpeaker):
                 self._record_failover_state()
             return
         root_cause = getattr(message, "root_cause", None)
-        if self.rci and root_cause is not None:
-            self._purge_root_cause(root_cause)
+        if root_cause is not None:
+            # Root-caused events are where RCI earns its name: from
+            # here on the two variants may diverge (purge vs. not).
+            self.rci_sensitive_state = True
+            if self.rci:
+                self._purge_root_cause(root_cause)
         if (
             self.rci
             and isinstance(message, Announcement)
@@ -81,22 +132,21 @@ class RBGPSpeaker(BGPSpeaker):
             # link on its path is up again: recovery information is
             # newer than our failure knowledge.  Route additions cause
             # no transient problems (Lemma 3.1), so trusting it is safe.
-            for link in path_links((self.asn,) + message.path):
+            for link in self._full_path_links(message.path):
                 self.known_bad_links.discard(link)
         if (
             self.rci
             and isinstance(message, Announcement)
             and self.known_bad_links
-            and any(
-                link in self.known_bad_links
-                for link in path_links((self.asn,) + message.path)
+            and not self.known_bad_links.isdisjoint(
+                self._full_path_links(message.path)
             )
         ):
             # RCI lets us reject a stale path through a failed link as
             # if it were a withdrawal.
             message = Withdrawal(root_cause=root_cause)
         super().on_message(sender, message)
-        self._update_failover_advertisement()
+        self._update_failover_advertisement(changed_neighbor=sender)
 
     def on_session_down(self, peer: ASN) -> None:
         if peer not in self.sessions:
@@ -105,10 +155,16 @@ class RBGPSpeaker(BGPSpeaker):
             self._record_failover_state()
         if self._failover_sent is not None and self._failover_sent[0] == peer:
             self._failover_sent = None
+        # A session loss is inherently RCI-sensitive: with RCI the link
+        # joins known_bad_links and paths through it are purged, without
+        # RCI neither happens.  (This also covers links failed *before*
+        # initial convergence, e.g. a scenario's restored_links — the
+        # twin-start sharing must refuse such starts.)
+        self.rci_sensitive_state = True
         if self.rci:
             self._purge_root_cause(normalize_link(self.asn, peer))
         super().on_session_down(peer)
-        self._update_failover_advertisement()
+        self._update_failover_advertisement(changed_neighbor=peer)
 
     def on_session_up(self, peer: ASN) -> None:
         # A recovery invalidates our stale failure knowledge.
@@ -126,13 +182,16 @@ class RBGPSpeaker(BGPSpeaker):
         changed = False
         for neighbor in list(self.adj_rib_in):
             route = self.adj_rib_in.get(neighbor)
-            full = (self.asn,) + route.path
-            if path_contains_link(full, link):
+            if link in self._full_path_links(route.path):
                 self.adj_rib_in.withdraw(neighbor)
+                # Out-of-band RIB mutation: the next decision run and
+                # failover selection must rescan rather than trust the
+                # incremental keys.
+                self._decision_dirty = True
+                self._failover_valid = False
                 changed = True
         for upstream in list(self.failover_rib):
-            full = (self.asn,) + self.failover_rib[upstream]
-            if path_contains_link(full, link):
+            if link in self._full_path_links(self.failover_rib[upstream]):
                 del self.failover_rib[upstream]
                 self._record_failover_state()
         # The decision re-runs in the caller (message/session handler);
@@ -145,9 +204,13 @@ class RBGPSpeaker(BGPSpeaker):
 
     def _record_best_change(self, old, new) -> None:
         path = new.path if new is not None else None
-        if self.rci and path is None and self.fib_path is not None:
-            # Retain the stale entry; the trace state is unchanged.
-            return
+        if path is None and self.fib_path is not None:
+            # This is one of the two points where the RCI and no-RCI
+            # variants can diverge; record that it was reached.
+            self.rci_sensitive_state = True
+            if self.rci:
+                # Retain the stale entry; the trace state is unchanged.
+                return
         self.fib_path = path
         if self.trace is not None:
             self.trace.record(self.engine.now, self.asn, self.tag, path)
@@ -160,6 +223,42 @@ class RBGPSpeaker(BGPSpeaker):
     # ------------------------------------------------------------------
     # Failover advertisement
     # ------------------------------------------------------------------
+
+    def _failover_key_for(self, route: Route, primary_links: frozenset) -> Tuple:
+        """Selection key of one failover candidate (min = chosen).
+
+        Mirrors ``(overlap,) + route_sort_key(...)``; the lock rank is
+        the constant 1 here because failover selection never prefers
+        locked routes (R-BGP has no Lock attribute).
+        """
+        overlap = len(primary_links & self._full_path_links(route.path))
+        base = route.base_key
+        if base is None:
+            return (overlap,) + route_sort_key(self.graph, self.asn, route)
+        return (overlap, base[0], 1, base[1], base[2])
+
+    def _rescan_failover(self) -> Optional[Route]:
+        """Full failover rescan; refreshes the incremental cache."""
+        best = self.best
+        best_candidate: Optional[Route] = None
+        best_key: Optional[Tuple] = None
+        if best is not None and not best.is_origin:
+            target = best.learned_from
+            primary_links = self._full_path_links(best.path)
+            for route in self.adj_rib_in.routes():
+                if route.learned_from == target:
+                    continue
+                if target in route.path:
+                    # Useless to the target: it would route through itself.
+                    continue
+                key = self._failover_key_for(route, primary_links)
+                if best_key is None or key < best_key:
+                    best_candidate, best_key = route, key
+        self._failover_route = best_candidate
+        self._failover_key = best_key
+        self._failover_valid = True
+        self._failover_best_token = best
+        return best_candidate
 
     def compute_failover_route(self) -> Optional[Route]:
         """Most disjoint alternate to our primary path.
@@ -176,40 +275,72 @@ class RBGPSpeaker(BGPSpeaker):
         """
         if self.best is None or self.best.is_origin:
             return None
-        target = self.best.learned_from
-        primary_links = path_links((self.asn,) + self.best.path)
-        best_candidate: Optional[Route] = None
-        best_key = None
-        for route in self.adj_rib_in.routes():
-            if route.learned_from == target:
-                continue
-            if target in route.path:
-                # Useless to the target: it would route through itself.
-                continue
-            overlap = len(
-                primary_links & path_links((self.asn,) + route.path)
-            )
-            key = (overlap,) + route_sort_key(self.graph, self.asn, route)
-            if best_key is None or key < best_key:
-                best_candidate, best_key = route, key
-        return best_candidate
+        return self._rescan_failover()
 
-    def _update_failover_advertisement(self) -> None:
-        """(Re-)advertise our failover path to the primary next hop."""
-        if self.rci and self.best is None and self._failover_sent is not None:
-            # Our route vanished but (under make-before-break) upstream
-            # traffic may still flow through the old next hop; keep the
-            # failover advertisement alive until we re-route.
-            return
+    def _current_failover(self, target: ASN, changed_neighbor: object) -> Optional[Route]:
+        """Failover selection, updated incrementally when possible.
+
+        Valid only while the best route object is unchanged (same
+        target and primary links); a hinted single-neighbor RIB change
+        then either replaces the cached choice (strictly better key),
+        forces a rescan (the cached choice itself was touched), or is
+        ignored — exactly the argmin maintenance the decision process
+        uses.  The selection key embeds the neighbor ASN, so the order
+        is total and the incremental result provably matches a rescan.
+        """
+        if (
+            not self._failover_valid
+            or self._failover_best_token is not self.best
+            or changed_neighbor is _UNSET
+        ):
+            return self._rescan_failover()
+        cached = self._failover_route
+        if cached is not None and cached.learned_from == changed_neighbor:
+            return self._rescan_failover()
+        route = self.adj_rib_in.get(changed_neighbor)  # type: ignore[arg-type]
+        if (
+            route is not None
+            and changed_neighbor != target
+            and target not in route.path
+        ):
+            primary_links = self._full_path_links(self.best.path)
+            key = self._failover_key_for(route, primary_links)
+            if self._failover_key is None or key < self._failover_key:
+                self._failover_route = route
+                self._failover_key = key
+        return self._failover_route
+
+    def _update_failover_advertisement(
+        self, changed_neighbor: object = _UNSET
+    ) -> None:
+        """(Re-)advertise our failover path to the primary next hop.
+
+        ``changed_neighbor`` (when passed) asserts that since the last
+        call the Adj-RIB-In changed for at most that one neighbor,
+        enabling the incremental selection in :meth:`_current_failover`.
+        """
+        if self.best is None and self._failover_sent is not None:
+            # The second RCI-sensitive point (see rci_sensitive_state).
+            self.rci_sensitive_state = True
+            if self.rci:
+                # Our route vanished but (under make-before-break)
+                # upstream traffic may still flow through the old next
+                # hop; keep the failover advertisement alive until we
+                # re-route.
+                return
         target = (
             self.best.learned_from
             if self.best is not None and not self.best.is_origin
             else None
         )
-        failover = self.compute_failover_route() if target is not None else None
+        failover = (
+            self._current_failover(target, changed_neighbor)
+            if target is not None
+            else None
+        )
         desired: Optional[Tuple[ASN, ASPath]] = None
         if target is not None and failover is not None:
-            desired = (target, (self.asn,) + failover.path)
+            desired = (target, failover.path)
         if desired == self._failover_sent:
             return
         if self._failover_sent is not None:
@@ -225,7 +356,7 @@ class RBGPSpeaker(BGPSpeaker):
             self.transport.send(
                 self.asn,
                 desired[0],
-                FailoverAnnouncement(path=desired[1]),
+                FailoverAnnouncement(path=(self.asn,) + desired[1]),
                 tag=self.tag,
             )
         self._failover_sent = desired

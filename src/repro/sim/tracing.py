@@ -14,19 +14,44 @@ from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 from repro.types import ASN
 
 
-@dataclass(frozen=True)
 class ForwardingChange:
     """One timestamped change of an AS's forwarding state.
 
     ``key`` distinguishes parallel processes (e.g. STAMP colors) and
     ``state`` is protocol-defined (typically the next hop or the full
     route); ``None`` means "no route".
+
+    Hand-written ``__slots__`` class: one instance is appended per
+    forwarding change, which puts construction on the simulation hot
+    path.  Treat instances as immutable.
     """
 
-    time: float
-    asn: ASN
-    key: Hashable
-    state: Any
+    __slots__ = ("time", "asn", "key", "state")
+
+    def __init__(self, time: float, asn: ASN, key: Hashable, state: Any) -> None:
+        self.time = time
+        self.asn = asn
+        self.key = key
+        self.state = state
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForwardingChange):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.asn == other.asn
+            and self.key == other.key
+            and self.state == other.state
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.asn, self.key, self.state))
+
+    def __repr__(self) -> str:
+        return (
+            f"ForwardingChange(time={self.time!r}, asn={self.asn!r}, "
+            f"key={self.key!r}, state={self.state!r})"
+        )
 
 
 @dataclass

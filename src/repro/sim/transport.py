@@ -62,11 +62,34 @@ class _Channel:
         #: The one bound method the engine schedules for every message.
         self.deliver = self._deliver
 
+    def __getstate__(self):
+        """Pickle only durable channel state (twin-start snapshots).
+
+        ``receiver`` re-resolves on the next delivery and ``deliver``
+        re-binds in ``__setstate__``.
+        """
+        return (self.transport, self.src, self.dst, self.tag,
+                self.last_delivery, list(self.queue))
+
+    def __setstate__(self, state) -> None:
+        transport, src, dst, tag, last_delivery, queued = state
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.last_delivery = last_delivery
+        self.queue = deque(queued)
+        self.receiver = None
+        self.deliver = self._deliver
+
     def _deliver(self) -> None:
         transport = self.transport
         message = self.queue.popleft()
-        # Messages in flight across a failure are lost.
-        if not transport.link_is_up(self.src, self.dst):
+        # Messages in flight across a failure are lost.  (Fast path:
+        # with no failed element anywhere the link is trivially up.)
+        if (
+            transport._failed_links or transport._failed_ases
+        ) and not transport.link_is_up(self.src, self.dst):
             transport.messages_lost += 1
             return
         receiver = self.receiver
@@ -91,6 +114,15 @@ class Transport:
     def __init__(self, engine: Engine, delay_model: DelayModel | None = None) -> None:
         self._engine = engine
         self._delay = delay_model or UniformDelay()
+        #: Inlined bounds for the (ubiquitous) uniform delay model:
+        #: ``(low, high - low)``, drawn as ``low + span * rng.random()``
+        #: — the exact expression ``Random.uniform`` evaluates, so the
+        #: stream and values are bit-identical to sampling the model.
+        self._uniform_bounds: Tuple[float, float] | None = (
+            (self._delay.low, self._delay.high - self._delay.low)
+            if type(self._delay) is UniformDelay
+            else None
+        )
         self._receivers: Dict[Tuple[ASN, Hashable], Receiver] = {}
         self._down_listeners: Dict[ASN, SessionDownListener] = {}
         self._channels: Dict[Tuple[ASN, ASN, Hashable], _Channel] = {}
@@ -99,6 +131,44 @@ class Transport:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_lost = 0
+
+    def __getstate__(self):
+        """Pickle without drained channels (twin-start snapshots).
+
+        Channels are created lazily per send, so only their FIFO
+        bookkeeping (``last_delivery``) is state — and with a strictly
+        positive minimum delay, any post-restore send is scheduled after
+        ``now`` and hence after every past delivery, so the bookkeeping
+        of a *drained* channel can never influence a future delivery
+        time.  Channels with queued in-flight messages are real state
+        and stay; so does everything when the delay model's lower bound
+        is not provably positive.
+        """
+        state = self.__dict__.copy()
+        bounds = self._uniform_bounds
+        if bounds is not None and bounds[0] > 0:
+            state["_channels"] = {
+                key: channel
+                for key, channel in self._channels.items()
+                if channel.queue
+            }
+        return state
+
+    def dispose(self) -> None:
+        """Break reference cycles so a dead transport frees by refcount.
+
+        Every channel is self-cyclic (its pooled ``deliver`` bound
+        method references the channel), and the receiver/listener
+        registries hold bound methods into the speakers, which in turn
+        reference the transport.  See :meth:`repro.bgp.network
+        .BGPNetwork.dispose`.
+        """
+        for channel in self._channels.values():
+            channel.deliver = None  # type: ignore[assignment]
+            channel.receiver = None
+        self._channels.clear()
+        self._receivers.clear()
+        self._down_listeners.clear()
 
     # ------------------------------------------------------------------
     # Registration
@@ -194,16 +264,27 @@ class Transport:
         practice protocols never do this).
         """
         self.messages_sent += 1
-        if not self.link_is_up(src, dst):
+        if (
+            self._failed_links or self._failed_ases
+        ) and not self.link_is_up(src, dst):
             self.messages_lost += 1
             return
         key = (src, dst, tag)
         channel = self._channels.get(key)
         if channel is None:
             channel = self._channels[key] = _Channel(self, src, dst, tag)
-        delivery = self._engine.now + self._delay.sample(self._engine.rng)
+        engine = self._engine
+        bounds = self._uniform_bounds
+        if bounds is not None:
+            # Parenthesized exactly as Random.uniform computes it, so
+            # the float result is bit-identical to the sampled path.
+            delivery = engine._now + (bounds[0] + bounds[1] * engine.rng.random())
+        else:
+            delivery = engine._now + self._delay.sample(engine.rng)
         if delivery <= channel.last_delivery:
             delivery = channel.last_delivery + self.FIFO_EPSILON
         channel.last_delivery = delivery
         channel.queue.append(message)
-        self._engine.schedule_at(delivery, channel.deliver)
+        # Deliveries are never cancelled individually (in-flight loss is
+        # decided at delivery time), so the handle-free fast path applies.
+        engine.post_at(delivery, channel.deliver)

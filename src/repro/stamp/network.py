@@ -114,6 +114,19 @@ class STAMPNetwork:
             node.clear_instability()
         return self.engine.now - started
 
+    def dispose(self) -> None:
+        """Break reference cycles (see :meth:`BGPNetwork.dispose`).
+
+        STAMP adds node ↔ speaker cycles through the export-gate and
+        best-change closures, which the speakers' dispose drops.
+        """
+        self.transport.dispose()
+        for node in self.nodes.values():
+            for process in node.processes.values():
+                process.dispose()
+            node.processes.clear()
+        self.nodes.clear()
+
     # ------------------------------------------------------------------
     # Event injection
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ from repro.sim.tracing import ForwardingTrace
 from repro.sim.transport import Transport
 from repro.stamp.coloring import BlueProviderSelector, RandomBlueSelector
 from repro.topology.graph import ASGraph
-from repro.types import ASN, Color, EventType, Relationship
+from repro.types import ASN, Color, EventType
 
 from repro.forwarding.stamp_plane import unstable_key
 
@@ -72,6 +72,12 @@ class STAMPNode:
         #: dynamics wrinkle this reproduction surfaced (EXPERIMENTS.md).
         self.recolor_delay = recolor_delay
         self.trace = trace
+        #: Static relationship views (the graph topology never changes
+        #: during a simulation; failures are session events).
+        self._providers: Tuple[ASN, ...] = tuple(graph.providers(asn))
+        self._provider_set = frozenset(self._providers)
+        self._customer_set = frozenset(graph.customers(asn))
+        self._live_providers_cache: Optional[Tuple[int, List[ASN]]] = None
         self.locked_blue_provider: Optional[ASN] = None
         self.unstable: Dict[Color, bool] = {Color.RED: False, Color.BLUE: False}
         base_config = speaker_config or SpeakerConfig()
@@ -90,6 +96,10 @@ class STAMPNode:
                 trace=trace,
                 stats=stats,
                 export_gate=lambda peer, route, c=color: self._gate(c, peer, route),
+                # Selective announcement only restricts the provider
+                # direction; customers and peers always get (True, False),
+                # so the speaker may batch-export to them gate-free.
+                gate_peers=graph.providers(asn),
                 on_best_change=lambda spk, old, new, et, c=color: self._on_change(
                     c, old, new, et
                 ),
@@ -138,8 +148,21 @@ class STAMPNode:
     # ------------------------------------------------------------------
 
     def _live_providers(self) -> List[ASN]:
-        sessions = self.red.sessions  # both processes share physical links
-        return [p for p in self.graph.providers(self.asn) if p in sessions]
+        """Providers with a live physical link, cached per session churn.
+
+        The gate consults this on every provider-direction export
+        evaluation; both processes share physical links, so the red
+        process's ``sessions_version`` validates the cache.  Callers
+        must not mutate the returned list.
+        """
+        version = self.red.sessions_version
+        cached = self._live_providers_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        sessions = self.red.sessions
+        live = [p for p in self._providers if p in sessions]
+        self._live_providers_cache = (version, live)
+        return live
 
     def _blue_has_lock(self) -> bool:
         """Whether blue holds a Lock obligation (or originates)."""
@@ -155,8 +178,7 @@ class STAMPNode:
             return True
         if red.best is None:
             return False
-        rel = self.graph.relationship(self.asn, red.best.learned_from)
-        return rel is Relationship.CUSTOMER
+        return red.best.learned_from in self._customer_set
 
     def _locked_target(self, live_providers: List[ASN]) -> Optional[ASN]:
         """The provider currently chosen for the Lock chain."""
@@ -181,7 +203,7 @@ class STAMPNode:
         Called by the speaker only after the valley-free export filter
         passed.  Returns ``(allow, lock)``.
         """
-        if self.graph.relationship(self.asn, peer) is not Relationship.PROVIDER:
+        if peer not in self._provider_set:
             return (True, False)
         live = self._live_providers()
         has_lock = self._blue_has_lock()
@@ -212,29 +234,33 @@ class STAMPNode:
         withdrawal is deferred (`recolor_delay`), so downstream ASes
         never sit between the two sessions with no route at all.
         """
-        for provider in self.graph.providers(self.asn):
-            gains: List[BGPSpeaker] = []
+        for provider in self._providers:
+            gains: List[Tuple[BGPSpeaker, object]] = []
             losses: List[BGPSpeaker] = []
             for process in self.processes.values():
                 advertising = process.is_advertising(provider)
-                wants = process.export_for(provider) is not None
-                if wants and not advertising:
-                    gains.append(process)
-                elif advertising and not wants:
+                desired = process.export_for(provider)
+                if desired is not None and not advertising:
+                    gains.append((process, desired))
+                elif advertising and desired is None:
                     losses.append(process)
                 else:
                     # Same-color refresh (e.g. path change): immediate.
-                    process.refresh_peer(provider, et=et)
-            for process in gains:
-                process.refresh_peer(provider, et=et)
+                    # The export was just evaluated; hand it through so
+                    # the speaker does not re-run the gate.
+                    process.refresh_peer(provider, et=et, desired=desired)
+            for process, desired in gains:
+                process.refresh_peer(provider, et=et, desired=desired)
             for process in losses:
                 if gains and self.recolor_delay > 0:
+                    # Deferred: state may shift before the timer fires,
+                    # so the late refresh re-evaluates from scratch.
                     self.engine.schedule(
                         self.recolor_delay,
                         lambda p=provider, proc=process: proc.refresh_peer(p),
                     )
                 else:
-                    process.refresh_peer(provider, et=et)
+                    process.refresh_peer(provider, et=et, desired=None)
 
     # ------------------------------------------------------------------
     # ET-driven instability tracking

@@ -167,3 +167,153 @@ class TestMRAICoalescing:
         assert paths[0] == (2, 1, 9)
         assert paths[-1] == (2, 1, 6, 9)
         assert len(paths) == 2
+
+
+class TestMRAIBatchedFlush:
+    """Batched flush semantics: churn inside one MRAI window collapses."""
+
+    def test_withdraw_then_announce_collapse_to_final_state(self, harness):
+        """A withdraw+announce pair within the window nets to one update."""
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        first = [m for m in inboxes[3]]
+        assert [m.path for m in first] == [(2, 1, 9)]
+        # Within the MRAI window: lose the route, then regain the same
+        # one.  Net Adj-RIB-Out change toward 3 is zero.
+        speaker.on_message(1, Withdrawal())
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        # The armed flush found state == advertised: nothing was sent
+        # beyond the immediate (unpaced) withdrawal.
+        announcements_to_3 = [
+            m for m in inboxes[3] if isinstance(m, Announcement)
+        ]
+        withdrawals_to_3 = [m for m in inboxes[3] if isinstance(m, Withdrawal)]
+        assert [m.path for m in announcements_to_3] == [(2, 1, 9), (2, 1, 9)]
+        assert len(withdrawals_to_3) == 1  # withdrawals bypass MRAI
+
+    def test_churn_collapses_to_latest_path(self, harness):
+        """Multiple path changes inside the window emit only the last."""
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        # Three successive improvements within one MRAI window.
+        speaker.on_message(1, Announcement(path=(1, 8, 9)))
+        speaker.on_message(1, Announcement(path=(1, 7, 9)))
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        paths_to_3 = [
+            m.path for m in inboxes[3] if isinstance(m, Announcement)
+        ]
+        # First immediate send, then at most one coalesced flush; the
+        # final state equals what was already advertised, so the flush
+        # sent nothing.
+        assert paths_to_3 == [(2, 1, 9)]
+
+    def test_pending_context_merges_loss_event(self, harness):
+        """ET=LOSS survives coalescing when any pending change was a loss."""
+        engine, speaker, inboxes = harness
+        speaker.on_message(1, Announcement(path=(1, 9)))
+        engine.run()
+        speaker.on_message(1, Announcement(path=(1, 8, 9), et=EventType.LOSS))
+        engine.run()
+        last = [m for m in inboxes[3] if isinstance(m, Announcement)][-1]
+        assert last.path == (2, 1, 8, 9)
+        assert last.et is EventType.LOSS
+
+
+class TestDispose:
+    def test_disposed_network_frees_without_cyclic_gc(self):
+        import gc
+        import weakref
+
+        graph = make_line_graph()
+        network = BGPNetwork(graph, 3, NetworkConfig(seed=1))
+        network.start()
+        ref = weakref.ref(network.speakers[1])
+        network.dispose()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            del network
+            # No cyclic collection ran: refcounting alone must free it.
+            assert ref() is None
+        finally:
+            if was_enabled:
+                gc.enable()
+
+
+class TestExportEquivalence:
+    """The inlined valley-free checks must agree with policy.export_allowed."""
+
+    def test_export_for_matches_policy_for_every_combination(self):
+        from repro.bgp.policy import export_allowed
+        from repro.bgp.ribs import Route
+
+        # AS 5 with one customer (1), one peer (2), one provider (3).
+        graph = ASGraph()
+        graph.add_c2p(1, 5)
+        graph.add_p2p(5, 2)
+        graph.add_c2p(5, 3)
+        engine = Engine(seed=0)
+        transport = Transport(engine, FixedDelay(0.01))
+        for asn in (1, 2, 3):
+            transport.register_receiver(asn, lambda s, m: None)
+        speaker = BGPSpeaker(5, graph, engine, transport)
+        routes = [
+            Route(path=(), learned_from=None, pref=99),       # originated
+            Route(path=(1, 9), learned_from=1, pref=speaker.local_pref(1)),
+            Route(path=(2, 9), learned_from=2, pref=speaker.local_pref(2)),
+            Route(path=(3, 9), learned_from=3, pref=speaker.local_pref(3)),
+        ]
+        for route in routes:
+            speaker.best = route
+            speaker._export_path = None
+            for peer in (1, 2, 3):
+                inline = speaker.export_for(peer) is not None
+                reference = export_allowed(graph, 5, route, peer)
+                assert inline == reference, (route.learned_from, peer)
+
+    def test_schedule_exports_fanout_matches_export_for(self):
+        """The per-class batched fan-out must dispatch exactly what a
+        per-peer ``export_for`` evaluation would, for every best-route
+        type (originated / customer / peer / provider-learned)."""
+        from repro.bgp.ribs import Route
+
+        graph = ASGraph()
+        graph.add_c2p(1, 5)
+        graph.add_c2p(4, 5)
+        graph.add_p2p(5, 2)
+        graph.add_c2p(5, 3)
+        engine = Engine(seed=0)
+        transport = Transport(engine, FixedDelay(0.01))
+        for asn in (1, 2, 3, 4):
+            transport.register_receiver(asn, lambda s, m: None)
+        speaker = BGPSpeaker(5, graph, engine, transport)
+        routes = [
+            Route(path=(), learned_from=None, pref=99),
+            Route(path=(1, 9), learned_from=1, pref=speaker.local_pref(1)),
+            Route(path=(2, 9), learned_from=2, pref=speaker.local_pref(2)),
+            Route(path=(3, 9), learned_from=3, pref=speaker.local_pref(3)),
+        ]
+        for route in routes:
+            speaker.best = route
+            speaker._export_path = None
+            speaker._advertised.clear()
+            speaker._pending.clear()
+            dispatched = {}
+            original = speaker._dispatch_update
+            speaker._dispatch_update = (
+                lambda peer, desired, et, rc: dispatched.__setitem__(peer, desired)
+            )
+            try:
+                speaker.schedule_exports()
+            finally:
+                speaker._dispatch_update = original
+            for peer in speaker.sorted_sessions():
+                expected = speaker.export_for(peer)
+                if expected is None:
+                    assert dispatched.get(peer) is None, (route.learned_from, peer)
+                else:
+                    assert dispatched.get(peer) == expected, (route.learned_from, peer)

@@ -80,7 +80,7 @@ class TestCancellation:
         handle.cancel()
         assert engine.pending() == 1
 
-    def test_mass_cancellation_compacts_queue(self):
+    def test_mass_cancellation_of_far_timers_is_immediate(self):
         engine = Engine()
         keep = [engine.schedule(float(i), lambda: None) for i in range(10)]
         doomed = [
@@ -88,8 +88,26 @@ class TestCancellation:
         ]
         for handle in doomed:
             handle.cancel()
-        # Lazy deletion must not let tombstones accumulate unboundedly.
-        assert len(engine._queue) < 110
+        # Far (wheel-resident) timers are removed on cancel: no
+        # tombstones anywhere, nothing left to compact or skip.
+        assert engine._far_count + len(engine._near) == len(keep)
+        assert engine.pending() == len(keep)
+        assert engine.run() == len(keep)
+
+    def test_mass_cancellation_in_near_heap_compacts(self):
+        engine = Engine()
+        # Everything below BUCKET_WIDTH lands in the near heap, where
+        # cancellation is lazy and must trigger compaction.
+        keep = [
+            engine.schedule(0.001 * i, lambda: None) for i in range(10)
+        ]
+        doomed = [
+            engine.schedule(0.5 + 0.0001 * i, lambda: None)
+            for i in range(500)
+        ]
+        for handle in doomed:
+            handle.cancel()
+        assert len(engine._near) < 110
         assert engine.pending() == len(keep)
         assert engine.run() == len(keep)
 
@@ -116,6 +134,126 @@ class TestCancellation:
         assert engine.pending() == 1
         assert engine.run() == 1
         assert engine.pending() == 0
+
+
+class TestTimerWheel:
+    """Edge cases of the near-heap / far-wheel split."""
+
+    def test_far_events_cross_the_horizon_in_order(self):
+        engine = Engine()
+        log = []
+        # Interleave near (< BUCKET_WIDTH) and far events out of order.
+        engine.schedule(3.7, lambda: log.append(3.7))
+        engine.schedule(0.2, lambda: log.append(0.2))
+        engine.schedule(1.1, lambda: log.append(1.1))
+        engine.schedule(0.9, lambda: log.append(0.9))
+        engine.schedule(3.1, lambda: log.append(3.1))
+        engine.run()
+        assert log == sorted(log)
+
+    def test_ties_across_promotion_run_in_insertion_order(self):
+        engine = Engine()
+        log = []
+        for name in ("a", "b", "c"):
+            engine.schedule(5.0, lambda n=name: log.append(n))
+        engine.run()
+        assert log == ["a", "b", "c"]
+
+    def test_cancel_then_rearm_on_same_tick(self):
+        """An MRAI-style cancel + immediate re-arm at one instant."""
+        engine = Engine()
+        log = []
+        handle = engine.schedule(30.0, lambda: log.append("stale"))
+
+        def rearm():
+            handle.cancel()
+            engine.schedule(30.0, lambda: log.append("fresh"))
+
+        engine.schedule(0.5, rearm)
+        engine.run()
+        assert log == ["fresh"]
+        assert engine.now == 30.5
+        assert engine.pending() == 0
+
+    def test_cancel_rearm_cancel_leaves_no_residue(self):
+        engine = Engine()
+        fired = []
+        for _ in range(100):
+            handle = engine.schedule(25.0, lambda: fired.append(1))
+            handle.cancel()
+        keeper = engine.schedule(25.0, lambda: fired.append("keep"))
+        assert engine.pending() == 1
+        engine.run()
+        assert fired == ["keep"]
+        del keeper
+
+    def test_cancel_after_promotion_is_honored(self):
+        """A far timer promoted into the near heap can still cancel."""
+        engine = Engine()
+        log = []
+        handle = engine.schedule(5.5, lambda: log.append("doomed"))
+        # This event runs after promotion of the 5.x bucket but before
+        # the doomed timer fires.
+        engine.schedule(5.2, lambda: handle.cancel())
+        engine.run()
+        assert log == []
+        assert engine.pending() == 0
+
+    def test_post_at_orders_with_scheduled_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(1.0, lambda: log.append("handle"))
+        engine.post_at(1.0, lambda: log.append("posted"))
+        engine.post_at(0.5, lambda: log.append("early"))
+        engine.run()
+        assert log == ["early", "handle", "posted"]
+
+    def test_post_at_rejects_past_times(self):
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.post_at(1.0, lambda: None)
+
+    def test_scheduling_into_current_bucket_after_promotion(self):
+        """Events scheduled mid-bucket still interleave correctly."""
+        engine = Engine()
+        log = []
+
+        def spawn():
+            # now == 7.2: schedule inside the already-promoted window.
+            engine.schedule(0.05, lambda: log.append("inner"))
+            log.append("outer")
+
+        engine.schedule(7.2, spawn)
+        engine.schedule(7.4, lambda: log.append("later"))
+        engine.run()
+        assert log == ["outer", "inner", "later"]
+
+    def test_run_until_does_not_demote_far_timers(self):
+        """Stopping at `until` must not promote buckets beyond it."""
+        engine = Engine()
+        handle = engine.schedule(30.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        # The timer stayed wheel-resident: cancelling it is an O(1)
+        # bucket delete that leaves no tombstone behind.
+        handle.cancel()
+        assert engine._far_count == 0
+        assert engine._cancelled_in_near == 0
+        assert engine.pending() == 0
+
+    def test_run_until_parks_far_events(self):
+        engine = Engine()
+        log = []
+        engine.schedule(0.5, lambda: log.append("near"))
+        engine.schedule(40.0, lambda: log.append("far"))
+        engine.run(until=10.0)
+        assert log == ["near"]
+        assert engine.now == 10.0
+        assert engine.pending() == 1
+        engine.run()
+        assert log == ["near", "far"]
 
 
 class TestRunLimits:
@@ -153,3 +291,20 @@ class TestDeterminism:
         a = Engine(seed=42).rng.random()
         b = Engine(seed=42).rng.random()
         assert a == b
+
+
+class TestRunBackwardsGuard:
+    def test_until_in_the_past_is_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        with pytest.raises(SimulationError):
+            engine.run(until=1.0)
+        assert engine.now == 5.0  # clock untouched
+
+    def test_until_equal_to_now_is_a_no_op(self):
+        engine = Engine()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.run(until=engine.now) == 0

@@ -100,6 +100,57 @@ class TestPacing:
         assert sent[-1] == (20.0, 7)
 
 
+class TestTrySendNow:
+    def test_claims_slot_and_restarts_interval(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        assert pacer.try_send_now(7) is True
+        # The slot was consumed: a second attempt must arm the timer.
+        assert pacer.try_send_now(7) is False
+        assert 7 in pacer._armed
+        engine.run()
+        assert sent == [(10.0, 7)]  # only the armed flush fired
+
+    def test_withdrawal_bypass_does_not_restart(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        assert pacer.try_send_now(7) is True
+        assert pacer.try_send_now(7, is_withdrawal=True) is True
+        # Bypass sends never restart the interval.
+        assert pacer._next_allowed[7] == 10.0
+
+    def test_repeated_attempts_coalesce_on_one_timer(self, pacer_setup):
+        engine, pacer, sent = pacer_setup
+        pacer.try_send_now(7)
+        for _ in range(5):
+            assert pacer.try_send_now(7) is False
+        assert engine.pending() == 1  # one armed timer, no duplicates
+        engine.run()
+        assert sent == [(10.0, 7)]
+
+
+class TestZeroMRAI:
+    """base=0 disables pacing: every send is immediate, no timers."""
+
+    def setup_method(self):
+        self.engine = Engine(seed=1)
+        self.sent = []
+        config = MRAIConfig(base=0.0)
+        assert config.disabled
+        self.pacer = MRAIPacer(
+            self.engine, config, flush=lambda peer: self.sent.append(peer)
+        )
+
+    def test_every_request_fires_immediately(self):
+        for _ in range(5):
+            self.pacer.request_send(3)
+        assert self.sent == [3, 3, 3, 3, 3]
+        assert self.engine.pending() == 0  # nothing ever armed
+
+    def test_try_send_now_always_true(self):
+        for _ in range(3):
+            assert self.pacer.try_send_now(4) is True
+        assert not self.pacer._armed
+
+
 class TestWithdrawalRateLimiting:
     def test_wrate_mode_paces_withdrawals(self):
         engine = Engine(seed=1)

@@ -1,0 +1,71 @@
+"""Documentation must not rot: README references and doctests.
+
+CI runs this as part of the docs job.  It fails when `README.md`
+points at a file that no longer exists, when the commands it documents
+drift from the CLI, or when a code block in `docs/architecture.md`
+stops executing.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+README = REPO / "README.md"
+ARCHITECTURE = REPO / "docs" / "architecture.md"
+
+
+def test_readme_exists():
+    assert README.is_file(), "README.md is missing"
+
+
+def test_architecture_doc_exists():
+    assert ARCHITECTURE.is_file(), "docs/architecture.md is missing"
+
+
+def test_readme_referenced_files_exist():
+    """Every relative markdown link and inline `path` must resolve."""
+    text = README.read_text()
+    targets = set(re.findall(r"\]\((?!https?:)([^)#][^)]*)\)", text))
+    # Inline code spans that look like repo paths are checked too; a
+    # bare filename (no slash) may just be a link's display text, so
+    # only slash-containing spans count.
+    targets |= {
+        span
+        for span in re.findall(r"`([A-Za-z0-9_./-]+\.(?:py|md|json))`", text)
+        if "/" in span and not span.startswith("-")
+    }
+    missing = sorted(
+        t for t in targets if not (REPO / t).exists()
+    )
+    assert not missing, f"README references missing files: {missing}"
+
+
+def test_readme_mentions_tier1_verify_and_workers():
+    text = README.read_text()
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
+    assert "--workers" in text
+    assert "compare_perf.py" in text
+
+
+def test_architecture_covers_every_package():
+    text = ARCHITECTURE.read_text()
+    for package in (
+        "topology", "bgp", "rbgp", "stamp", "forwarding",
+        "sim", "analysis", "experiments",
+    ):
+        assert f"`repro.{package}`" in text, f"no section for repro.{package}"
+    assert "determinism contract" in text.lower()
+
+
+def test_architecture_doctests_pass():
+    """The same check `python -m doctest docs/architecture.md` runs."""
+    results = doctest.testfile(
+        str(ARCHITECTURE), module_relative=False, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "architecture.md lost its doctests"
