@@ -19,12 +19,24 @@ convergence instant typically touches one or two ASes' forwarding
 state, turning the per-instant cost from O(all eligible walks) into
 O(affected walks).  :func:`_reference_analyze_transient_problems` keeps
 the full-rescan implementation for equivalence tests.
+
+Timed episodes (:mod:`repro.experiments.scenarios`) generalize the
+single-event analysis to a *sequence* of :class:`EpisodeSegment`
+phases, each with its own failure state:
+:func:`analyze_episode_transient_problems` produces one
+:class:`TransientReport` per phase (disruption attributable to each
+injected event) plus an episode-wide overall report whose problem
+intervals span phase boundaries — an AS blackholed across an entire
+fail window and healed by a later restore counts as *transiently*
+affected, which no concatenation of independent per-phase analyses can
+express.  :func:`_reference_analyze_episode_transient_problems` is its
+brute-force equivalence twin.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.forwarding.walk import WalkClassifier
 from repro.sim.tracing import ForwardingTrace
@@ -93,6 +105,7 @@ def analyze_transient_problems(
     pre_event_state: Optional[Dict] = None,
     include_detection_instant: bool = False,
     min_duration: float = 0.0,
+    exclude_sources: FrozenSet[ASN] = frozenset(),
 ) -> TransientReport:
     """Replay a trace and count affected ASes.
 
@@ -113,51 +126,175 @@ def analyze_transient_problems(
     affected only if some continuous problem interval lasts at least
     this many simulated seconds.  The default (0.0) counts a problem at
     any instant, which is the strictest reading of the paper's metric.
+
+    ``exclude_sources`` removes additional ASes from eligibility
+    without treating them as failed for walk classification — the
+    episode analyzer uses it for routers that were down when a phase's
+    events fired (they cannot be victims of the phase, but traffic may
+    legitimately flow *through* them once restored).
     """
     report = TransientReport()
     all_ases = list(ases)
 
     baseline_state = pre_event_state if pre_event_state is not None else initial_state
     baseline = plane.classify_batch(baseline_state, all_ases)
-    report.eligible = {
-        asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
-    } - set(failed_ases)
+    report.eligible = (
+        {asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED}
+        - set(failed_ases)
+        - set(exclude_sources)
+    )
     if not report.eligible:
         return report
 
     eligible = report.eligible
+    scan_state = _IncrementalScan(plane, eligible, report, min_duration)
+    # One walk-spec closure set serves every scan; the replay mutates a
+    # single state dict in place (rebind is called once per scanned
+    # dict, including the detached detection-instant copy).
+    scan_state.begin_segment(initial_state, failed_links, failed_ases)
 
-    # Open problem intervals: asn -> (start time, kinds seen so far).
-    problem_since: Dict[ASN, Tuple[float, Set[Outcome]]] = {}
-    last_time = 0.0
+    if include_detection_instant:
+        event_time = trace.changes[0].time if trace.changes else 0.0
+        scan_state.scan(dict(initial_state), event_time, None)
 
-    def close_interval(asn: ASN, end: float) -> None:
-        start, kinds = problem_since.pop(asn)
-        if end - start < min_duration:
+    final_state = dict(initial_state)
+    for time, state, changed in trace.replay_with_changes(initial_state):
+        scan_state.scan(state, time, changed)
+        final_state = state
+
+    # Separate permanent (topology-induced) unreachability from
+    # transient problems: an AS still failing in the fully converged
+    # state was partitioned by the event, not disrupted by convergence.
+    scan_state.finalize(final_state, failed_links, failed_ases)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Timed episodes: per-phase attribution + episode-wide intervals
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpisodeSegment:
+    """One episode phase as the analyzer consumes it.
+
+    ``initial_state`` is the control-plane snapshot captured at the
+    injection instant *before* the phase's events were applied (the
+    synchronous reactions to those events are the first changes of
+    ``trace``); ``failed_links``/``failed_ases`` are the failure sets
+    active *after* the events, i.e. throughout the phase.
+    ``failed_ases_at_start`` holds the ASes that were (still) failed
+    when the phase's events fired — a router restored by this very
+    phase was down at its start, so it cannot be a *victim* of the
+    phase and is excluded from the phase report's eligibility (its
+    frozen pre-restore state would otherwise classify as connectivity
+    it never had).
+    """
+
+    trace: ForwardingTrace
+    initial_state: Dict
+    failed_links: FrozenSet[Link]
+    failed_ases: FrozenSet[ASN]
+    start_time: float
+    failed_ases_at_start: FrozenSet[ASN] = frozenset()
+
+
+@dataclass
+class EpisodeTransientReport:
+    """Per-phase and episode-wide transient analysis of one episode.
+
+    ``phases[k]`` is a self-contained :class:`TransientReport` of phase
+    ``k`` alone (eligibility re-evaluated at the phase's start — the
+    attribution view).  ``overall`` spans the whole episode with one
+    eligibility baseline (pre-episode connectivity) and problem
+    intervals that survive phase boundaries; its
+    ``disruption_duration`` therefore measures the episode's total
+    data-plane outage window.
+    """
+
+    overall: TransientReport
+    phases: List[TransientReport] = field(default_factory=list)
+
+
+class _IncrementalScan:
+    """The incremental scan engine shared by both analyzers.
+
+    :func:`analyze_transient_problems` runs it over a single segment;
+    the episode analyzer chains segments through it.  Interval
+    bookkeeping (``outcome_of``/``problem_since``) persists across
+    segments; the walk session, fingerprint table, and dependency
+    index are rebuilt per segment because the failure sets baked into
+    the walk closures change at every phase boundary — which also
+    forces the first scan of each segment to be a full rescan (a
+    restore can flip outcomes without any trace key changing).
+    """
+
+    _ABSENT = object()
+
+    def __init__(
+        self,
+        plane: WalkClassifier,
+        eligible: Set[ASN],
+        report: TransientReport,
+        min_duration: float,
+    ) -> None:
+        self.plane = plane
+        self.eligible = eligible
+        self.report = report
+        self.min_duration = min_duration
+        self.outcome_of: Dict[ASN, Outcome] = {}
+        self.problem_since: Dict[ASN, Tuple[float, Set[Outcome]]] = {}
+        self.problems_now = 0
+        self.scanned_any = False
+        self.last_time = 0.0
+        # Per-segment state (set by begin_segment).
+        self.session = None
+        self.key_fingerprint = None
+        self.fingerprints: Dict[object, object] = {}
+        self.deps_of: Dict[ASN, set] = {}
+        self.dependents: Dict[object, Set[ASN]] = {}
+        self.segment_scanned = False
+
+    def begin_segment(
+        self,
+        initial_state: Dict,
+        failed_links: FrozenSet[Link],
+        failed_ases: FrozenSet[ASN],
+    ) -> None:
+        self.session = self.plane.analysis_session(
+            initial_state,
+            failed_links=failed_links,
+            failed_ases=failed_ases,
+        )
+        key_fingerprint = self.session.spec.key_fingerprint
+        self.key_fingerprint = key_fingerprint
+        # Fingerprint filter: walks observe only a projection of each
+        # snapshot value (e.g. a route's next hop, never the full
+        # path), so a value change whose fingerprint is unchanged
+        # cannot change any outcome and is dropped before the
+        # dependency lookup.
+        self.fingerprints = {
+            key: key_fingerprint(key, value)
+            for key, value in initial_state.items()
+        }
+        self.deps_of = {}
+        self.dependents = {}
+        self.segment_scanned = False
+
+    def _close_interval(self, asn: ASN, end: float) -> None:
+        start, kinds = self.problem_since.pop(asn)
+        if end - start < self.min_duration:
             return
+        report = self.report
         report.affected.add(asn)
         if Outcome.LOOP in kinds:
             report.looped.add(asn)
         if Outcome.BLACKHOLE in kinds:
             report.blackholed.add(asn)
 
-    # Incremental classification state: the current outcome of each
-    # eligible AS, which state keys its last walk read, and the reverse
-    # index from state key to dependent sources.
-    outcome_of: Dict[ASN, Outcome] = {}
-    deps_of: Dict[ASN, set] = {}
-    dependents: Dict[object, Set[ASN]] = {}
-    problems_now = 0
-    scanned_once = False
-    # One walk-spec closure set serves every scan; the replay mutates a
-    # single state dict in place (rebind is called once per scanned
-    # dict, including the detached detection-instant copy).
-    session = plane.analysis_session(
-        initial_state, failed_links=failed_links, failed_ases=failed_ases
-    )
-
-    def apply_classification(asn: ASN, outcome: Outcome, reads: set, time: float) -> None:
-        nonlocal problems_now
+    def _apply(self, asn: ASN, outcome: Outcome, reads: set, time: float) -> None:
+        deps_of = self.deps_of
+        dependents = self.dependents
         old_reads = deps_of.get(asn)
         if old_reads is None:
             for key in reads:
@@ -176,100 +313,295 @@ def analyze_transient_problems(
                 sources.add(asn)
             deps_of[asn] = reads
 
-        old = outcome_of.get(asn)
-        outcome_of[asn] = outcome
+        old = self.outcome_of.get(asn)
+        self.outcome_of[asn] = outcome
+        problem_since = self.problem_since
         if outcome is Outcome.DELIVERED:
             if old is not None and old is not Outcome.DELIVERED:
-                problems_now -= 1
+                self.problems_now -= 1
                 if asn in problem_since:
-                    close_interval(asn, time)
+                    self._close_interval(asn, time)
             return
         if old is None or old is Outcome.DELIVERED:
-            problems_now += 1
+            self.problems_now += 1
         if asn not in problem_since:
             problem_since[asn] = (time, set())
         problem_since[asn][1].add(outcome)
 
-    # Fingerprint filter: walks observe only a projection of each
-    # snapshot value (e.g. a route's next hop, never the full path), so
-    # a value change whose fingerprint is unchanged cannot change any
-    # outcome and is dropped before the dependency lookup.  During BGP
-    # path exploration most updates swap the tail of a path while the
-    # next hop stays put, making this a major scan filter.
-    key_fingerprint = session.spec.key_fingerprint
-    fingerprints: Dict[object, object] = {
-        key: key_fingerprint(key, value) for key, value in initial_state.items()
-    }
-    _ABSENT = object()
-
-    def scan(state: Dict, time: float, changed_keys: Optional[set]) -> None:
-        nonlocal scanned_once
-        if not scanned_once:
-            # Full scan: every change is absorbed, but the fingerprint
-            # table must still advance past this instant's values.
+    def scan(self, state: Dict, time: float, changed_keys: Optional[set]) -> None:
+        key_fingerprint = self.key_fingerprint
+        fingerprints = self.fingerprints
+        if not self.segment_scanned:
             for key in changed_keys or ():
                 fingerprints[key] = key_fingerprint(key, state.get(key))
-            targets: Iterable[ASN] = sorted(eligible)
-            scanned_once = True
+            targets: Iterable[ASN] = sorted(self.eligible)
+            self.segment_scanned = True
         else:
             touched: Set[ASN] = set()
             for key in changed_keys or ():
                 fingerprint = key_fingerprint(key, state.get(key))
-                if fingerprints.get(key, _ABSENT) == fingerprint:
+                if fingerprints.get(key, self._ABSENT) == fingerprint:
                     continue
                 fingerprints[key] = fingerprint
-                sources = dependents.get(key)
+                sources = self.dependents.get(key)
                 if sources:
                     touched |= sources
             targets = sorted(touched)
         if targets:
+            session = self.session
             session.rebind(state)
             classified = session.classify_many(targets)
+            outcome_of = self.outcome_of
+            deps_of = self.deps_of
             for asn in targets:
                 outcome, reads = classified[asn]
-                # Unchanged outcome with the identical dependency-set
-                # object needs no bookkeeping at all (any open problem
-                # interval already has this outcome kind recorded).
                 if outcome is outcome_of.get(asn) and reads is deps_of.get(asn):
                     continue
-                apply_classification(asn, outcome, reads, time)
+                self._apply(asn, outcome, reads, time)
+        self.report.timeline.append((time, len(self.report.affected)))
+        self.report.problem_timeline.append((time, self.problems_now))
+        self.scanned_any = True
+        self.last_time = time
+
+    def finalize(
+        self,
+        final_state: Dict,
+        failed_links: FrozenSet[Link],
+        failed_ases: FrozenSet[ASN],
+    ) -> None:
+        """Resolve permanence and close the still-open intervals.
+
+        An AS still failing in the fully converged state was
+        partitioned, not disrupted by convergence; when no instant was
+        ever scanned (empty trace), the final (= initial) state is
+        classified once, without touching the timelines.
+        """
+        report = self.report
+        outcome_of = self.outcome_of
+        if not self.scanned_any:
+            final_outcomes = self.plane.classify(
+                final_state,
+                self.eligible,
+                failed_links=failed_links,
+                failed_ases=failed_ases,
+            )
+            outcome_of = {
+                asn: final_outcomes.get(asn, Outcome.BLACKHOLE)
+                for asn in self.eligible
+            }
+        for asn in self.eligible:
+            if outcome_of.get(asn, Outcome.BLACKHOLE) is not Outcome.DELIVERED:
+                report.permanently_unreachable.add(asn)
+                self.problem_since.pop(asn, None)
+        # Intervals still open recovered by the final classification
+        # above, so they end at the last scanned instant.
+        for asn in list(self.problem_since):
+            self._close_interval(asn, self.last_time)
+        report.affected -= report.permanently_unreachable
+        report.looped -= report.permanently_unreachable
+        report.blackholed -= report.permanently_unreachable
+
+
+def _episode_eligibility(
+    plane: WalkClassifier,
+    segments: Sequence[EpisodeSegment],
+    all_ases: List[ASN],
+) -> Set[ASN]:
+    """Pre-episode connectivity baseline minus every ever-failed AS.
+
+    Mirrors the single-event analyzer: the baseline classification
+    ignores failure sets (pre-event connectivity — the post-initial-
+    convergence control plane has already routed around any pre-failed
+    links), and ASes that are themselves failed at any point of the
+    episode cannot "experience" transient problems.
+    """
+    baseline = plane.classify_batch(segments[0].initial_state, all_ases)
+    ever_failed: Set[ASN] = set()
+    for segment in segments:
+        ever_failed |= segment.failed_ases
+        ever_failed |= segment.failed_ases_at_start
+    return {
+        asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
+    } - ever_failed
+
+
+def analyze_episode_transient_problems(
+    segments: Sequence[EpisodeSegment],
+    plane: WalkClassifier,
+    ases: Iterable[ASN],
+    *,
+    min_duration: float = 0.0,
+) -> EpisodeTransientReport:
+    """Analyze one multi-phase episode run.
+
+    Per-phase reports come from :func:`analyze_transient_problems` on
+    each segment in isolation.  The overall report replays all
+    segments with shared interval state; at each phase boundary after
+    the first, a full rescan is forced at the injection instant —
+    folding in any same-instant synchronous reactions first, and
+    scanning the unchanged state when there are none (a link restore
+    flips walk outcomes without touching a single trace key).  For a
+    single-segment episode the overall report is identical to the
+    single-event analyzer's (the equivalence tests pin this).
+    """
+    segments = list(segments)
+    if not segments:
+        return EpisodeTransientReport(overall=TransientReport())
+    all_ases = list(ases)
+    phases = [
+        analyze_transient_problems(
+            segment.trace,
+            segment.initial_state,
+            plane,
+            all_ases,
+            failed_links=segment.failed_links,
+            failed_ases=segment.failed_ases,
+            min_duration=min_duration,
+            # A router that was down when this phase fired cannot be a
+            # victim of the phase (its frozen pre-restore snapshot is
+            # not real connectivity).
+            exclude_sources=segment.failed_ases_at_start,
+        )
+        for segment in segments
+    ]
+    report = TransientReport()
+    report.eligible = _episode_eligibility(plane, segments, all_ases)
+    if not report.eligible:
+        return EpisodeTransientReport(overall=report, phases=phases)
+
+    scan_state = _IncrementalScan(plane, report.eligible, report, min_duration)
+    final_state: Dict = dict(segments[0].initial_state)
+    for index, segment in enumerate(segments):
+        scan_state.begin_segment(
+            segment.initial_state, segment.failed_links, segment.failed_ases
+        )
+        changes = segment.trace.changes
+        if index > 0 and (not changes or changes[0].time > segment.start_time):
+            # Boundary scan: no synchronous reaction shares the
+            # injection instant, so classify the unchanged state under
+            # the new failure sets.
+            scan_state.scan(
+                dict(segment.initial_state), segment.start_time, None
+            )
+        final_state = dict(segment.initial_state)
+        for time, state, changed in segment.trace.replay_with_changes(
+            segment.initial_state
+        ):
+            scan_state.scan(state, time, changed)
+            final_state = state
+
+    last = segments[-1]
+    scan_state.finalize(final_state, last.failed_links, last.failed_ases)
+    return EpisodeTransientReport(overall=report, phases=phases)
+
+
+def _reference_analyze_episode_transient_problems(
+    segments: Sequence[EpisodeSegment],
+    plane: WalkClassifier,
+    ases: Iterable[ASN],
+    *,
+    min_duration: float = 0.0,
+) -> EpisodeTransientReport:
+    """Full-rescan episode analyzer (the brute-force equivalence twin).
+
+    Classifies every eligible AS at every instant of every segment via
+    :meth:`WalkClassifier.classify`, with the identical boundary-scan
+    and interval-bridging semantics as the incremental implementation.
+    """
+    segments = list(segments)
+    if not segments:
+        return EpisodeTransientReport(overall=TransientReport())
+    all_ases = list(ases)
+    phases = [
+        _reference_analyze_transient_problems(
+            segment.trace,
+            segment.initial_state,
+            plane,
+            all_ases,
+            failed_links=segment.failed_links,
+            failed_ases=segment.failed_ases,
+            min_duration=min_duration,
+            exclude_sources=segment.failed_ases_at_start,
+        )
+        for segment in segments
+    ]
+    report = TransientReport()
+    report.eligible = _episode_eligibility(plane, segments, all_ases)
+    if not report.eligible:
+        return EpisodeTransientReport(overall=report, phases=phases)
+    eligible = report.eligible
+
+    problem_since: Dict[ASN, Tuple[float, Set[Outcome]]] = {}
+    outcome_of: Dict[ASN, Outcome] = {}
+    last_time = 0.0
+    scanned_any = False
+
+    def close_interval(asn: ASN, end: float) -> None:
+        start, kinds = problem_since.pop(asn)
+        if end - start < min_duration:
+            return
+        report.affected.add(asn)
+        if Outcome.LOOP in kinds:
+            report.looped.add(asn)
+        if Outcome.BLACKHOLE in kinds:
+            report.blackholed.add(asn)
+
+    def scan(segment: EpisodeSegment, state: Dict, time: float) -> None:
+        nonlocal last_time, scanned_any
+        outcomes = plane.classify(
+            state,
+            eligible,
+            failed_links=segment.failed_links,
+            failed_ases=segment.failed_ases,
+        )
+        problems_now = 0
+        for asn in eligible:
+            outcome = outcomes.get(asn, Outcome.BLACKHOLE)
+            outcome_of[asn] = outcome
+            if outcome is Outcome.DELIVERED:
+                if asn in problem_since:
+                    close_interval(asn, time)
+                continue
+            problems_now += 1
+            if asn not in problem_since:
+                problem_since[asn] = (time, set())
+            problem_since[asn][1].add(outcome)
         report.timeline.append((time, len(report.affected)))
         report.problem_timeline.append((time, problems_now))
-
-    if include_detection_instant:
-        event_time = trace.changes[0].time if trace.changes else 0.0
-        scan(dict(initial_state), event_time, None)
-
-    final_state = dict(initial_state)
-    for time, state, changed in trace.replay_with_changes(initial_state):
-        scan(state, time, changed)
-        final_state = state
         last_time = time
+        scanned_any = True
 
-    # Separate permanent (topology-induced) unreachability from
-    # transient problems: an AS still failing in the fully converged
-    # state was partitioned by the event, not disrupted by convergence.
-    if not scanned_once:
-        # No instant was ever scanned (empty trace): classify the final
-        # (= initial) state once, without touching the timelines.
+    final_state: Dict = dict(segments[0].initial_state)
+    for index, segment in enumerate(segments):
+        changes = segment.trace.changes
+        if index > 0 and (not changes or changes[0].time > segment.start_time):
+            scan(segment, dict(segment.initial_state), segment.start_time)
+        final_state = dict(segment.initial_state)
+        for time, state in segment.trace.replay(segment.initial_state):
+            scan(segment, state, time)
+            final_state = state
+
+    last = segments[-1]
+    if not scanned_any:
         final_outcomes = plane.classify(
-            final_state, eligible, failed_links=failed_links, failed_ases=failed_ases
+            final_state,
+            eligible,
+            failed_links=last.failed_links,
+            failed_ases=last.failed_ases,
         )
-        outcome_of = {
-            asn: final_outcomes.get(asn, Outcome.BLACKHOLE) for asn in eligible
-        }
+        outcome_of.update(
+            (asn, final_outcomes.get(asn, Outcome.BLACKHOLE)) for asn in eligible
+        )
     for asn in eligible:
         if outcome_of.get(asn, Outcome.BLACKHOLE) is not Outcome.DELIVERED:
             report.permanently_unreachable.add(asn)
             problem_since.pop(asn, None)
-    # Close intervals still open at convergence.  They recovered by the
-    # final snapshot's classification above, so end them there.
     for asn in list(problem_since):
         close_interval(asn, last_time)
     report.affected -= report.permanently_unreachable
     report.looped -= report.permanently_unreachable
     report.blackholed -= report.permanently_unreachable
-    return report
+    return EpisodeTransientReport(overall=report, phases=phases)
 
 
 def _reference_analyze_transient_problems(
@@ -283,6 +615,7 @@ def _reference_analyze_transient_problems(
     pre_event_state: Optional[Dict] = None,
     include_detection_instant: bool = False,
     min_duration: float = 0.0,
+    exclude_sources: FrozenSet[ASN] = frozenset(),
 ) -> TransientReport:
     """Full-rescan analyzer (pre-optimization behavior).
 
@@ -295,9 +628,11 @@ def _reference_analyze_transient_problems(
 
     baseline_state = pre_event_state if pre_event_state is not None else initial_state
     baseline = plane.classify(baseline_state, all_ases)
-    report.eligible = {
-        asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED
-    } - set(failed_ases)
+    report.eligible = (
+        {asn for asn in all_ases if baseline.get(asn) is Outcome.DELIVERED}
+        - set(failed_ases)
+        - set(exclude_sources)
+    )
     if not report.eligible:
         return report
 

@@ -145,21 +145,79 @@ class BGPNetwork:
     # ------------------------------------------------------------------
 
     def fail_link(self, a: ASN, b: ASN) -> None:
-        """Fail a link now; both endpoints react immediately."""
+        """Fail a link now; both endpoints react immediately.
+
+        Applied synchronously at the current simulated instant: both
+        live endpoints receive their session-down notification (and
+        record any resulting forwarding change) before this returns.
+        """
         self.transport.fail_link(a, b)
 
     def restore_link(self, a: ASN, b: ASN) -> None:
-        """Restore a failed link; both endpoints re-advertise."""
+        """Restore a failed link; both endpoints re-advertise.
+
+        Deterministic re-establishment order: ``a``'s session comes up
+        first, then ``b``'s — callers with no preference should pass
+        the endpoints in a canonical (e.g. normalized-link) order.  The
+        session-up handlers queue re-advertisements through the normal
+        MRAI machinery, so the resulting updates propagate with
+        ordinary message delays rather than instantaneously.
+
+        When either endpoint AS is itself failed, only the transport's
+        link state recovers — no session forms (mirroring
+        ``fail_link``'s notify loop, which skips failed ASes).  The
+        sessions re-establish later, when ``restore_as`` brings the
+        dead endpoint back.
+        """
         self.transport.restore_link(a, b)
-        self._notify_session_up(a, b)
-        self._notify_session_up(b, a)
+        if self.transport.link_is_up(a, b):
+            self._notify_session_up(a, b)
+            self._notify_session_up(b, a)
 
     def _notify_session_up(self, asn: ASN, peer: ASN) -> None:
         self.speakers[asn].on_session_up(peer)
 
     def fail_as(self, asn: ASN) -> None:
-        """Fail an entire AS (all of its sessions reset)."""
+        """Fail an entire AS (all of its sessions reset).
+
+        The failed AS's own speaker keeps its state (a router that
+        lost power mid-state) and everything it emits — or receives —
+        while down is dropped by the transport.  Its already-armed
+        MRAI timers do still fire, so a flush whose Adj-RIB-Out went
+        stale at the failure instant produces a send that the
+        transport drops but the protocol ``stats`` count: update
+        counters measure messages *sent*, not delivered.  This is the
+        seed behavior of the single-instant node-failure figure and is
+        deliberately left untouched; ``restore_as`` cancels the timers
+        when the router reboots.
+        """
         self.transport.fail_as(asn, self.graph.neighbors(asn))
+
+    def restore_as(self, asn: ASN) -> None:
+        """Bring a failed AS back up (maintenance over; cold restart).
+
+        The restored router reboots with *empty* protocol state — a
+        restart does not resurrect pre-failure RIBs — and sessions
+        re-establish deterministically: the reboot first (an origin
+        immediately re-originates), then each live neighbor's session
+        comes up in ascending-ASN order, re-advertising its current
+        best route to the restored AS.  No-op when the AS is not
+        currently failed.
+        """
+        if self.transport.as_is_up(asn):
+            return
+        self.transport.restore_as(asn)
+        live = [
+            nbr
+            for nbr in sorted(self.graph.neighbors(asn))
+            if self.transport.link_is_up(asn, nbr)
+        ]
+        speaker = self.speakers[asn]
+        speaker.reboot(live)
+        if speaker.is_origin:
+            speaker.originate()
+        for nbr in live:
+            self._notify_session_up(nbr, asn)
 
     # ------------------------------------------------------------------
     # Observation

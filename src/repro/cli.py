@@ -7,6 +7,7 @@ Usage examples::
     repro-stamp fig3a
     repro-stamp fig3b
     repro-stamp node-failure
+    repro-stamp flap --period 40 --flaps 2   # link-flap episode campaign
     repro-stamp deployment
     repro-stamp overhead
     repro-stamp delay
@@ -24,6 +25,7 @@ from repro.experiments.figures import (
     fig2_single_link_failure,
     fig3a_two_links_distinct_as,
     fig3b_two_links_same_as,
+    link_flap_comparison,
     node_failure_comparison,
     sec61_intelligent_selection,
     sec63_convergence_delay,
@@ -106,6 +108,30 @@ def cmd_node_failure(args) -> int:
     return 0
 
 
+def cmd_flap(args) -> int:
+    data = link_flap_comparison(
+        _build_config(args), period=args.period, flaps=args.flaps
+    )
+    _print_failure(
+        f"Link-flap campaign ({args.flaps} flap(s), period {args.period:g}s): "
+        "episode-wide mean affected ASes",
+        data,
+    )
+    print()
+    by_phase = data.mean_affected_by_phase()
+    headers = ["protocol"] + [
+        f"phase {k}" for k in range(data.n_phases())
+    ]
+    rows = [
+        [PROTOCOL_LABELS[p]] + [f"{v:.1f}" for v in values]
+        for p, values in by_phase.items()
+    ]
+    print("Mean affected ASes attributable to each phase "
+          "(even phases fail the link, odd phases restore it):")
+    print(format_table(headers, rows))
+    return 0
+
+
 def cmd_intelligent(args) -> int:
     data = sec61_intelligent_selection(_build_config(args))
     print(f"mean Phi, random selection     : {data.mean_phi_random:.3f}")
@@ -162,6 +188,7 @@ _COMMANDS = {
     "fig3a": cmd_fig3a,
     "fig3b": cmd_fig3b,
     "node-failure": cmd_node_failure,
+    "flap": cmd_flap,
     "intelligent": cmd_intelligent,
     "deployment": cmd_deployment,
     "overhead": cmd_overhead,
@@ -194,6 +221,16 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name)
         if name == "topology":
             command.add_argument("--out", default="as_graph.txt")
+        if name == "flap":
+            command.add_argument(
+                "--period", type=float, default=40.0,
+                help="seconds between a failure and the next restore "
+                     "(default 40: partial convergence under a 30s MRAI)",
+            )
+            command.add_argument(
+                "--flaps", type=int, default=2,
+                help="number of fail/restore cycles (2*flaps phases)",
+            )
     return parser
 
 

@@ -8,6 +8,7 @@ paper-vs-measured comparison; EXPERIMENTS.md records the outcomes.
 
 from __future__ import annotations
 
+import functools
 import random
 import statistics
 from dataclasses import dataclass, field
@@ -30,7 +31,9 @@ from repro.experiments.runner import (
     ProtocolRun,
 )
 from repro.experiments.scenarios import (
+    Episode,
     Scenario,
+    link_flap_episode,
     provider_node_failure,
     single_provider_link_failure,
     two_link_failures_distinct_as,
@@ -40,6 +43,7 @@ from repro.topology.generators import generate_internet_topology
 from repro.topology.graph import ASGraph
 
 ScenarioBuilder = Callable[[ASGraph, random.Random], Scenario]
+EpisodeBuilder = Callable[[ASGraph, random.Random], Episode]
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +201,86 @@ def node_failure_comparison(
     return _failure_comparison(
         provider_node_failure, "node-failure", config, graph
     )
+
+
+# ----------------------------------------------------------------------
+# Episode campaigns — workloads beyond the paper's single instants
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EpisodeCampaignData(FailureFigureData):
+    """Per-protocol :class:`EpisodeRun` lists of one episode campaign.
+
+    Inherits every aggregate of :class:`FailureFigureData` (episode
+    runs expose the same metric surface, computed from the
+    episode-wide overall report) and adds the per-phase breakdown.
+    """
+
+    def n_phases(self) -> int:
+        """Number of comparable phases per episode.
+
+        The packaged builders produce uniform phase counts; should a
+        custom family vary (e.g. a degenerate instance), aggregation
+        covers the common prefix rather than raising.
+        """
+        counts = [
+            len(run.phases) for runs in self.runs.values() for run in runs
+        ]
+        return min(counts) if counts else 0
+
+    def mean_affected_by_phase(self) -> Dict[str, List[float]]:
+        """Protocol -> per-phase mean affected-AS counts.
+
+        Phase ``k``'s value averages the *phase-scoped* reports (each
+        re-evaluates eligibility at its injection instant), so the
+        series shows which event of the episode did the damage.
+        """
+        return {
+            protocol: [
+                statistics.fmean(run.phases[k].report.affected_count for run in runs)
+                for k in range(self.n_phases())
+            ]
+            for protocol, runs in self.runs.items()
+            if runs
+        }
+
+
+def episode_campaign(
+    builder: EpisodeBuilder,
+    kind: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+) -> EpisodeCampaignData:
+    """Sweep one episode family over instances x protocols.
+
+    The exact machinery of :func:`_failure_comparison` — the
+    multiprocessing fan-out included — applied to an episode builder:
+    every ``(instance, protocol)`` unit re-derives its episode from
+    the deterministic string-seeded RNG, and any worker count yields
+    byte-identical statistics (the campaign golden test pins this).
+    """
+    data = _failure_comparison(builder, kind, config, graph)
+    return EpisodeCampaignData(scenario_kind=data.scenario_kind, runs=data.runs)
+
+
+def link_flap_comparison(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    graph: Optional[ASGraph] = None,
+    period: float = 40.0,
+    flaps: int = 2,
+) -> EpisodeCampaignData:
+    """Campaign: a provider link flaps (fail/recover x ``flaps``).
+
+    The episode-model counterpart of Figure 2: same single-link
+    population, but the link fails, partially recovers, and re-fails —
+    the workload that distinguishes protocols by how they cope with
+    churn *during* convergence rather than after a clean event.
+    """
+    builder = functools.partial(link_flap_episode, period=period, flaps=flaps)
+    return episode_campaign(builder, "link-flap", config, graph=graph)
 
 
 # ----------------------------------------------------------------------

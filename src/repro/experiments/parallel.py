@@ -45,12 +45,18 @@ from repro.experiments.runner import (
     ProtocolRun,
     clear_twin_start_cache,
     derive_run_seed,
+    run_episode,
     run_scenario,
 )
+from repro.experiments.scenarios import Episode
 from repro.topology.graph import ASGraph
 from repro.topology.serialization import graph_from_bytes, graph_to_bytes
 
-#: One work unit: (scenario builder, kind, master seed, instance, protocol).
+#: One work unit: (scenario/episode builder, kind, master seed,
+#: instance, protocol).  The builder decides the execution path: a
+#: returned :class:`Scenario` runs through ``run_scenario``, an
+#: :class:`Episode` through ``run_episode`` — so campaign drivers fan
+#: episode families over the identical pool/merge machinery.
 WorkUnit = Tuple[Callable, str, int, int, str]
 
 #: Topology of the current worker process, rebuilt once per worker by
@@ -92,22 +98,25 @@ def run_unit(
     seed: int,
     instance: int,
     protocol: str,
-) -> ProtocolRun:
+):
     """Execute one (instance, protocol) simulation deterministically.
 
     Both the sequential and the pooled path run exactly this function,
     which is what makes worker count irrelevant to the results: the
-    scenario is re-derived from a fresh string-seeded RNG and the
-    simulation seed from :func:`derive_run_seed`.
+    scenario (or episode) is re-derived from a fresh string-seeded RNG
+    and the simulation seed from :func:`derive_run_seed`.  Episode
+    builders yield :class:`repro.experiments.runner.EpisodeRun`s, which
+    expose the same metric surface as :class:`ProtocolRun`.
     """
     scenario_rng = random.Random(f"{seed}:{kind}:{instance}")
     scenario = builder(graph, scenario_rng)
-    return run_scenario(
-        graph, scenario, protocol, seed=derive_run_seed(seed, kind, instance)
-    )
+    run_seed = derive_run_seed(seed, kind, instance)
+    if isinstance(scenario, Episode):
+        return run_episode(graph, scenario, protocol, seed=run_seed)
+    return run_scenario(graph, scenario, protocol, seed=run_seed)
 
 
-def _run_unit_in_worker(unit: WorkUnit) -> ProtocolRun:
+def _run_unit_in_worker(unit: WorkUnit):
     builder, kind, seed, instance, protocol = unit
     assert _WORKER_GRAPH is not None, "worker initializer did not run"
     with _cyclic_gc_paused():
@@ -160,10 +169,12 @@ class ParallelRunner:
         protocols: Sequence[str],
         graph: ASGraph,
     ) -> Dict[str, List[ProtocolRun]]:
-        """All (instance, protocol) runs of one failure figure.
+        """All (instance, protocol) runs of one figure or campaign.
 
         Returns ``{protocol: [run per instance, in instance order]}``
-        — the canonical merge order, independent of scheduling.
+        — the canonical merge order, independent of scheduling.  With
+        an episode builder the lists hold ``EpisodeRun``s (same metric
+        surface; see :func:`run_unit`).
         """
         units: List[WorkUnit] = [
             (builder, kind, seed, instance, protocol)

@@ -1,17 +1,39 @@
-"""Run one failure scenario under one protocol and count the damage.
+"""Run one failure scenario or timed episode under one protocol.
+
+Two execution paths share the network construction and the twin-start
+cache:
+
+* :func:`run_scenario` — the paper's single-instant path.  **When
+  events apply**: links listed under ``Scenario.restored_links`` are
+  failed *before* initial convergence; after the network converges and
+  its trace is cleared, the scenario's failures and restorations are
+  applied synchronously (``failed_links`` → ``failed_ases`` →
+  ``restored_links``, in that order, with no simulated time between
+  them) and the run drains to convergence once.
+* :func:`run_episode` — the timed multi-phase path.  **When events
+  apply**: ``Episode.pre_failed_links`` are failed before initial
+  convergence; each episode step is then *scheduled* on the engine
+  (:meth:`repro.sim.engine.Engine.post_at`) at its absolute offset
+  from the post-convergence instant and fires mid-run as an ordinary
+  event — ordered against protocol timers by the engine's total
+  ``(time, insertion-seq)`` order — before a single drain runs the
+  whole episode to quiescence.
 
 The two R-BGP variants (``rbgp`` / ``rbgp-norci``) differ only in how
 they react to root-cause information, which cannot exist before the
 first failure — so their *initial convergence* is one and the same
-computation.  ``run_scenario`` exploits that: after starting one
-variant it snapshots the converged network (a pickle with the topology
-shared by reference) and restores the snapshot for the twin, flipping
-the ``rci`` flag, instead of re-simulating an identical start.  The
-sharing is gated on :meth:`repro.rbgp.network.RBGPNetwork
-.start_is_rci_invariant` — a per-speaker runtime proof that no
-RCI-sensitive code path was reached — and falls back to a fresh start
-otherwise, so results are byte-identical either way (the golden
-determinism test pins this).
+computation.  Both paths exploit that: after starting one variant they
+snapshot the converged network (a pickle with the topology shared by
+reference) and restore the snapshot for the twin, flipping the ``rci``
+flag, instead of re-simulating an identical start.  The cache key is
+the complete pre-convergence input — graph identity/version,
+destination, seed, and the *pre-failed link set* (a scenario's
+``restored_links``, an episode's ``pre_failed_links``) — so runs whose
+starts could differ never share; sharing is additionally gated on
+:meth:`repro.rbgp.network.RBGPNetwork.start_is_rci_invariant` — a
+per-speaker runtime proof that no RCI-sensitive code path was reached
+— and falls back to a fresh start otherwise, so results are
+byte-identical either way (the golden determinism tests pin this).
 """
 
 from __future__ import annotations
@@ -20,9 +42,14 @@ import hashlib
 import io
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.transient import TransientReport, analyze_transient_problems
+from repro.analysis.transient import (
+    EpisodeSegment,
+    TransientReport,
+    analyze_episode_transient_problems,
+    analyze_transient_problems,
+)
 from repro.bgp.network import BGPNetwork, NetworkConfig
 from repro.errors import ConfigurationError
 from repro.forwarding.bgp_plane import BGPDataPlane
@@ -30,11 +57,17 @@ from repro.forwarding.rbgp_plane import PRIMARY, RBGPDataPlane
 from repro.forwarding.stamp_plane import STAMPDataPlane
 from repro.forwarding.walk import WalkClassifier
 from repro.rbgp.network import RBGPNetwork
-from repro.experiments.scenarios import Scenario
+from repro.experiments.scenarios import (
+    Episode,
+    EpisodeEvent,
+    EventKind,
+    Scenario,
+)
+from repro.sim.tracing import ForwardingTrace
 from repro.stamp.network import STAMPConfig, STAMPNetwork
 from repro.topology.generators import InternetTopologyConfig
 from repro.topology.graph import ASGraph
-from repro.types import normalize_link
+from repro.types import Link, normalize_link
 
 #: Protocols compared in Figures 2-3, in the paper's display order.
 PROTOCOLS: Tuple[str, ...] = ("bgp", "rbgp-norci", "rbgp", "stamp")
@@ -177,7 +210,7 @@ class _StartSnapshot:
 
 
 #: Single-slot cache for R-BGP twin-start sharing:
-#: (graph, graph version, destination, seed, restored links) ->
+#: (graph, graph version, destination, seed, pre-failed links) ->
 #: (snapshot, initial convergence time).  One slot suffices — the twin
 #: runs back-to-back within one instance — and bounds memory to one
 #: pickled payload (sub-MB; the graph is held by reference, and the
@@ -196,29 +229,49 @@ def clear_twin_start_cache() -> None:
 _RBGP_PROTOCOLS = frozenset({"rbgp", "rbgp-norci"})
 
 
-def _rbgp_start_key(graph: ASGraph, scenario: Scenario, seed: int) -> Tuple:
-    restored = tuple(
-        sorted(normalize_link(a, b) for a, b in scenario.restored_links)
-    )
-    return (graph, graph.version, scenario.destination, seed, restored)
+def _rbgp_start_key(
+    graph: ASGraph, destination, seed: int, pre_failed: Tuple[Link, ...]
+) -> Tuple:
+    """Twin-start cache key: the complete pre-convergence input.
+
+    ``pre_failed`` is the normalized, sorted tuple of links that start
+    out failed — a scenario's ``restored_links`` or an episode's
+    ``pre_failed_links``.  Everything applied *after* initial
+    convergence (the scenario's instantaneous events, the episode's
+    scheduled steps) cannot influence the snapshot and is deliberately
+    excluded; everything that shapes the start is included, so two runs
+    whose initial convergence could differ never share a snapshot.
+    """
+    return (graph, graph.version, destination, seed, pre_failed)
 
 
-def run_scenario(
+def _normalized_pre_failed(links) -> Tuple[Link, ...]:
+    return tuple(sorted(normalize_link(a, b) for a, b in links))
+
+
+def _acquire_started_network(
     graph: ASGraph,
-    scenario: Scenario,
+    destination,
     protocol: str,
-    *,
-    seed: int = 0,
-    network_config: Optional[NetworkConfig] = None,
-) -> ProtocolRun:
-    """Simulate one scenario under one protocol; analyze the trace."""
+    seed: int,
+    network_config: Optional[NetworkConfig],
+    pre_failed_links,
+):
+    """Build — or restore from the twin-start slot — a started network.
+
+    ``pre_failed_links`` start out failed before initial convergence
+    (in the caller's order; the cache key uses the normalized sorted
+    tuple).  Returns ``(network, plane, initial_convergence_time)``
+    with the trace already cleared of initial churn.
+    """
     global _RBGP_START_SLOT
+    pre_failed = _normalized_pre_failed(pre_failed_links)
     network = None
     plane = None
     initial_convergence_time = 0.0
     shareable = protocol in _RBGP_PROTOCOLS and network_config is None
     if shareable:
-        key = _rbgp_start_key(graph, scenario, seed)
+        key = _rbgp_start_key(graph, destination, seed, pre_failed)
         slot = _RBGP_START_SLOT
         if (
             slot is not None
@@ -230,26 +283,55 @@ def run_scenario(
             network.set_rci(protocol == "rbgp")
             initial_convergence_time = slot[2]
             plane = RBGPDataPlane(
-                scenario.destination, rci=(protocol == "rbgp"), graph=graph
+                destination, rci=(protocol == "rbgp"), graph=graph
             )
     if network is None:
         network, plane = build_network(
             protocol,
             graph,
-            scenario.destination,
+            destination,
             seed=seed,
             network_config=network_config,
         )
-        # Links that will *recover* during the event start out failed.
-        for a, b in scenario.restored_links:
+        # Links that will *recover* during the run start out failed.
+        for a, b in pre_failed_links:
             network.transport.fail_link(a, b)
         initial_convergence_time = network.start()
         if shareable and network.start_is_rci_invariant():
             _RBGP_START_SLOT = (
-                _rbgp_start_key(graph, scenario, seed),
+                _rbgp_start_key(graph, destination, seed, pre_failed),
                 _StartSnapshot(network, graph),
                 initial_convergence_time,
             )
+    return network, plane, initial_convergence_time
+
+
+def run_scenario(
+    graph: ASGraph,
+    scenario: Scenario,
+    protocol: str,
+    *,
+    seed: int = 0,
+    network_config: Optional[NetworkConfig] = None,
+) -> ProtocolRun:
+    """Simulate one single-instant scenario; analyze the trace.
+
+    Exact event timing: ``scenario.restored_links`` are failed before
+    the network is started; initial convergence runs and the trace is
+    cleared; then — at the converged instant, with no engine event in
+    between — ``failed_links`` fail, ``failed_ases`` fail, and
+    ``restored_links`` are restored, synchronously and in that order.
+    A single drain then runs the reaction to convergence.  Events at
+    *different* simulated times are :func:`run_episode`'s job.
+    """
+    network, plane, initial_convergence_time = _acquire_started_network(
+        graph,
+        scenario.destination,
+        protocol,
+        seed,
+        network_config,
+        scenario.restored_links,
+    )
 
     initial_state = network.forwarding_state()
     announcements_before = network.stats.announcements
@@ -284,6 +366,201 @@ def run_scenario(
         protocol=protocol,
         scenario=scenario,
         report=report,
+        convergence_time=convergence_time,
+        announcements=announcements_after - announcements_before,
+        withdrawals=withdrawals_after - withdrawals_before,
+        initial_updates=announcements_before + withdrawals_before,
+        initial_convergence_time=initial_convergence_time,
+    )
+
+
+# ----------------------------------------------------------------------
+# Timed episodes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EpisodePhase:
+    """One injection instant of an episode run and its attribution."""
+
+    #: Phase index (position among the episode's distinct instants).
+    index: int
+    #: Indices into ``episode.steps`` applied at this instant.
+    step_indices: Tuple[int, ...]
+    #: Absolute simulated time the events were injected.
+    time: float
+    events: Tuple[EpisodeEvent, ...]
+    #: Phase-scoped transient analysis (eligibility re-evaluated at
+    #: the phase's start), so disruption is attributable per event.
+    report: TransientReport
+
+
+@dataclass
+class EpisodeRun:
+    """Outcome of one (episode, protocol) simulation.
+
+    Exposes the same metric surface as :class:`ProtocolRun`
+    (``affected``, ``updates``, ``disruption_duration``, ...) computed
+    from the episode-wide overall report, so campaign drivers aggregate
+    episode runs exactly like scenario runs — plus the per-phase
+    breakdown under :attr:`phases`.
+    """
+
+    protocol: str
+    episode: Episode
+    #: Episode-wide report (problem intervals span phase boundaries).
+    report: TransientReport
+    phases: Tuple[EpisodePhase, ...]
+    #: Simulated seconds from the post-initial-convergence instant to
+    #: final quiescence (includes any idle offset before the first
+    #: step; the packaged builders all start at offset 0.0).
+    convergence_time: float
+    announcements: int
+    withdrawals: int
+    initial_updates: int = 0
+    initial_convergence_time: float = 0.0
+
+    @property
+    def affected(self) -> int:
+        """ASes with transient problems at any point of the episode."""
+        return self.report.affected_count
+
+    @property
+    def updates(self) -> int:
+        """Update messages sent across all phases of the episode."""
+        return self.announcements + self.withdrawals
+
+    @property
+    def disruption_duration(self) -> float:
+        """Seconds the data plane kept dropping packets (all phases)."""
+        return self.report.disruption_duration
+
+
+def _apply_episode_event(network, event: EpisodeEvent) -> None:
+    """Apply one episode event to a network (any protocol plane)."""
+    kind = event.kind
+    if kind is EventKind.LINK_FAIL:
+        network.fail_link(*event.link)
+    elif kind is EventKind.LINK_RESTORE:
+        network.restore_link(*event.link)
+    elif kind is EventKind.AS_FAIL:
+        network.fail_as(event.asn)
+    elif kind is EventKind.AS_RESTORE:
+        network.restore_as(event.asn)
+    else:  # pragma: no cover - exhaustive over EventKind
+        raise ConfigurationError(f"unknown episode event kind {kind!r}")
+
+
+def run_episode(
+    graph: ASGraph,
+    episode: Episode,
+    protocol: str,
+    *,
+    seed: int = 0,
+    network_config: Optional[NetworkConfig] = None,
+) -> EpisodeRun:
+    """Simulate one timed episode under one protocol; analyze per phase.
+
+    Exact event timing: ``episode.pre_failed_links`` are failed before
+    the network starts; after initial convergence (trace cleared), one
+    injector per distinct step offset is scheduled via
+    :meth:`repro.sim.engine.Engine.post_at` at ``converged_time +
+    offset``.  A single engine drain then runs the whole episode:
+    injectors fire mid-run as ordinary events, snapshot the
+    pre-injection forwarding state, and apply their instant's events
+    synchronously (in step order).  Because injectors are scheduled
+    before any post-convergence protocol activity, an injection tied
+    with a protocol timer at the exact same instant fires *first*
+    (lower insertion seq) — the one scheduling rule episode authors
+    need to know; see ``docs/scenarios.md``.
+
+    The R-BGP twin-start snapshot cache is keyed on the episode's
+    pre-convergence input (destination, seed, ``pre_failed_links``),
+    so two different episodes share a start only when their initial
+    convergence is provably the same computation.
+    """
+    network, plane, initial_convergence_time = _acquire_started_network(
+        graph,
+        episode.destination,
+        protocol,
+        seed,
+        network_config,
+        episode.pre_failed_links,
+    )
+
+    announcements_before = network.stats.announcements
+    withdrawals_before = network.stats.withdrawals
+
+    engine = network.engine
+    trace = network.trace
+    transport = network.transport
+    base = engine.now
+    instants = episode.instants()
+    #: Per-phase marks captured by the injectors at fire time:
+    #: (time, pre-injection state, trace start index, post-injection
+    #: failed links, post-injection failed ASes, pre-injection failed
+    #: ASes).
+    marks: List[Tuple[float, Dict, int, frozenset, frozenset, frozenset]] = []
+
+    def _make_injector(events: Tuple[EpisodeEvent, ...]):
+        def inject() -> None:
+            time = engine.now
+            state = dict(network.forwarding_state())
+            trace_start = len(trace.changes)
+            failed_ases_before = frozenset(transport.failed_ases)
+            for event in events:
+                _apply_episode_event(network, event)
+            marks.append(
+                (
+                    time,
+                    state,
+                    trace_start,
+                    frozenset(transport.failed_links),
+                    frozenset(transport.failed_ases),
+                    failed_ases_before,
+                )
+            )
+        return inject
+
+    for offset, _, events in instants:
+        engine.post_at(base + offset, _make_injector(events))
+    convergence_time = network.run_to_convergence()
+
+    segments: List[EpisodeSegment] = []
+    for k, (
+        time, state, trace_start, failed_links, failed_ases, failed_before
+    ) in enumerate(marks):
+        trace_end = marks[k + 1][2] if k + 1 < len(marks) else len(trace.changes)
+        segments.append(
+            EpisodeSegment(
+                trace=ForwardingTrace(changes=trace.changes[trace_start:trace_end]),
+                initial_state=state,
+                failed_links=failed_links,
+                failed_ases=failed_ases,
+                start_time=time,
+                failed_ases_at_start=failed_before,
+            )
+        )
+    analysis = analyze_episode_transient_problems(segments, plane, graph.ases)
+    phases = tuple(
+        EpisodePhase(
+            index=k,
+            step_indices=instants[k][1],
+            time=segments[k].start_time,
+            events=instants[k][2],
+            report=analysis.phases[k],
+        )
+        for k in range(len(segments))
+    )
+
+    announcements_after = network.stats.announcements
+    withdrawals_after = network.stats.withdrawals
+    network.dispose()
+    return EpisodeRun(
+        protocol=protocol,
+        episode=episode,
+        report=analysis.overall,
+        phases=phases,
         convergence_time=convergence_time,
         announcements=announcements_after - announcements_before,
         withdrawals=withdrawals_after - withdrawals_before,

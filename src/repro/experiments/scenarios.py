@@ -1,22 +1,43 @@
-"""Failure scenario builders matching the paper's evaluation setups.
+"""Failure scenarios and timed failure episodes.
 
-All builders draw from a seeded RNG and return a :class:`Scenario`
-describing the destination and the resources that fail.  The paper's
-scenarios (section 6.2):
+Two workload shapes live here, both drawn from seeded RNGs:
 
-* Figure 2 — a multi-homed destination fails one of its provider links;
-* Figure 3(a) — additionally, a random *indirect* provider link
-  (multi-hop away) fails simultaneously;
-* Figure 3(b) — the destination fails a provider link and that same
-  provider fails one of its own provider links;
-* text — a single AS (node) failure;
-* Lemma 3.1 sanity — a link recovery (route addition event).
+* :class:`Scenario` — the paper's single-instant events (section 6.2):
+  every listed failure/restoration is applied at one instant, right
+  after initial convergence, by :func:`repro.experiments.runner
+  .run_scenario`.  Scenario builders:
+
+  - Figure 2 — a multi-homed destination fails one provider link;
+  - Figure 3(a) — additionally, a random *indirect* provider link
+    (multi-hop away) fails simultaneously;
+  - Figure 3(b) — the destination fails a provider link and that same
+    provider fails one of its own provider links;
+  - text — a single AS (node) failure;
+  - Lemma 3.1 sanity — a link recovery (route addition event).
+
+* :class:`Episode` — a timed, multi-phase generalization: an ordered
+  tuple of ``(time_offset, event)`` steps where each event fails or
+  restores a link or an AS, injected *mid-run* by the engine-scheduled
+  injector of :func:`repro.experiments.runner.run_episode`.  Episodes
+  express workloads the single-instant model cannot: link flaps
+  (fail → recover → re-fail), staggered maintenance windows, and
+  correlated outages that unfold over time.  Episode builders:
+
+  - :func:`link_flap_episode` — a provider link flaps N times;
+  - :func:`staggered_maintenance_episode` — two providers are taken
+    down and restored in consecutive maintenance windows;
+  - :func:`correlated_outage_episode` — Figure 3(a)'s two links, but
+    the second failure lands a configurable delay after the first.
+
+See ``docs/scenarios.md`` for the full event model and the exact
+timing/determinism rules.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
@@ -26,13 +47,173 @@ from repro.types import ASN, Link
 
 @dataclass(frozen=True)
 class Scenario:
-    """One failure scenario for one destination prefix."""
+    """One single-instant failure scenario for one destination prefix.
+
+    Timing semantics (see :func:`repro.experiments.runner.run_scenario`
+    for the authoritative sequence): ``restored_links`` start out
+    *failed before initial convergence*; then, at one instant right
+    after the converged network's trace is cleared, ``failed_links``
+    fail, ``failed_ases`` fail, and ``restored_links`` are restored —
+    in that order, synchronously, with no simulated time passing
+    between them.  For events at *different* times, use
+    :class:`Episode`.
+    """
 
     destination: ASN
     failed_links: Tuple[Link, ...] = ()
     failed_ases: Tuple[ASN, ...] = ()
     restored_links: Tuple[Link, ...] = ()
     description: str = ""
+
+
+# ----------------------------------------------------------------------
+# Timed episodes
+# ----------------------------------------------------------------------
+
+
+class EventKind(Enum):
+    """What one episode event does to the network."""
+
+    LINK_FAIL = "link_fail"
+    LINK_RESTORE = "link_restore"
+    AS_FAIL = "as_fail"
+    AS_RESTORE = "as_restore"
+
+
+_LINK_KINDS = frozenset({EventKind.LINK_FAIL, EventKind.LINK_RESTORE})
+
+
+@dataclass(frozen=True)
+class EpisodeEvent:
+    """One atomic routing event: fail/restore one link or one AS.
+
+    Use the factories :func:`fail_link`, :func:`restore_link`,
+    :func:`fail_as`, :func:`restore_as` instead of constructing
+    directly; link events carry ``link`` and AS events carry ``asn``.
+    """
+
+    kind: EventKind
+    link: Optional[Link] = None
+    asn: Optional[ASN] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in _LINK_KINDS:
+            if self.link is None or self.asn is not None:
+                raise ConfigurationError(
+                    f"{self.kind.value} event must carry a link and no AS"
+                )
+        else:
+            if self.asn is None or self.link is not None:
+                raise ConfigurationError(
+                    f"{self.kind.value} event must carry an AS and no link"
+                )
+
+
+def fail_link(a: ASN, b: ASN) -> EpisodeEvent:
+    """Event: the a-b link fails."""
+    return EpisodeEvent(kind=EventKind.LINK_FAIL, link=(a, b))
+
+
+def restore_link(a: ASN, b: ASN) -> EpisodeEvent:
+    """Event: the a-b link comes back up (sessions re-establish)."""
+    return EpisodeEvent(kind=EventKind.LINK_RESTORE, link=(a, b))
+
+
+def fail_as(asn: ASN) -> EpisodeEvent:
+    """Event: an entire AS fails (all of its sessions reset)."""
+    return EpisodeEvent(kind=EventKind.AS_FAIL, asn=asn)
+
+
+def restore_as(asn: ASN) -> EpisodeEvent:
+    """Event: a failed AS comes back (maintenance over; cold restart)."""
+    return EpisodeEvent(kind=EventKind.AS_RESTORE, asn=asn)
+
+
+@dataclass(frozen=True)
+class Episode:
+    """A timed, multi-phase failure episode for one destination prefix.
+
+    ``steps`` is an ordered tuple of ``(time_offset, event)`` pairs;
+    offsets are simulated seconds *after initial convergence* and must
+    be non-negative and non-decreasing.  Steps sharing one offset are
+    applied at the same instant, in tuple order, and form one *phase*
+    of the episode (see :meth:`instants`).
+
+    ``pre_failed_links`` start out failed before initial convergence —
+    the episode-model generalization of ``Scenario.restored_links`` —
+    so a later ``restore_link`` step can model recovery of a link the
+    network never converged over.  Because they shape the *initial*
+    convergence, they are part of the R-BGP twin-start cache key (see
+    :func:`repro.experiments.runner.run_episode`).
+    """
+
+    destination: ASN
+    steps: Tuple[Tuple[float, EpisodeEvent], ...] = ()
+    pre_failed_links: Tuple[Link, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        previous = 0.0
+        for offset, event in self.steps:
+            if offset < 0:
+                raise ConfigurationError(
+                    f"episode step offset {offset} is negative"
+                )
+            if offset < previous:
+                raise ConfigurationError(
+                    "episode steps must be ordered by non-decreasing offset"
+                )
+            if not isinstance(event, EpisodeEvent):
+                raise ConfigurationError(
+                    f"episode step carries a non-event: {event!r}"
+                )
+            previous = offset
+
+    def instants(
+        self,
+    ) -> List[Tuple[float, Tuple[int, ...], Tuple[EpisodeEvent, ...]]]:
+        """Steps grouped by injection instant.
+
+        Returns ``[(offset, step_indices, events), ...]`` — one entry
+        per distinct offset, preserving step order within an instant.
+        Each entry is one *phase* of the episode: the runner injects
+        its events atomically and the analyzer attributes disruption to
+        it separately.
+        """
+        grouped: List[Tuple[float, List[int], List[EpisodeEvent]]] = []
+        for index, (offset, event) in enumerate(self.steps):
+            if grouped and grouped[-1][0] == offset:
+                grouped[-1][1].append(index)
+                grouped[-1][2].append(event)
+            else:
+                grouped.append((offset, [index], [event]))
+        return [
+            (offset, tuple(indices), tuple(events))
+            for offset, indices, events in grouped
+        ]
+
+
+def episode_from_scenario(scenario: Scenario) -> Episode:
+    """Express a single-instant :class:`Scenario` as an :class:`Episode`.
+
+    All events land in one phase at offset ``0.0``, in the exact order
+    :func:`repro.experiments.runner.run_scenario` applies them (failed
+    links, failed ASes, restored links), and the scenario's
+    ``restored_links`` become the episode's ``pre_failed_links``.
+    """
+    events: List[EpisodeEvent] = []
+    for a, b in scenario.failed_links:
+        events.append(fail_link(a, b))
+    for asn in scenario.failed_ases:
+        events.append(fail_as(asn))
+    for a, b in scenario.restored_links:
+        events.append(restore_link(a, b))
+    return Episode(
+        destination=scenario.destination,
+        steps=tuple((0.0, event) for event in events),
+        pre_failed_links=scenario.restored_links,
+        description=scenario.description or "single-instant scenario",
+    )
 
 
 def _multihomed_candidates(graph: ASGraph) -> List[ASN]:
@@ -161,4 +342,121 @@ def link_recovery(graph: ASGraph, rng: random.Random) -> Scenario:
         destination=destination,
         restored_links=((destination, provider),),
         description=f"recovery of provider link {destination}-{provider}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Episode builders
+# ----------------------------------------------------------------------
+
+
+def link_flap_episode(
+    graph: ASGraph,
+    rng: random.Random,
+    *,
+    period: float = 40.0,
+    flaps: int = 2,
+) -> Episode:
+    """A multi-homed destination's provider link flaps ``flaps`` times.
+
+    The link fails at offset 0, recovers ``period`` seconds later,
+    re-fails after another ``period``, and so on — ``2 * flaps`` phases
+    in total, ending restored.  With the default 30 s MRAI, a period of
+    ~40 s gives the network time to partially (but not always fully)
+    converge between events, which is exactly the regime where a flap
+    compounds transient disruption.
+    """
+    if flaps < 1:
+        raise ConfigurationError("a flap episode needs at least one flap")
+    if period <= 0:
+        raise ConfigurationError("flap period must be positive")
+    destination = _pick_multihomed(graph, rng)
+    provider = rng.choice(graph.providers(destination))
+    steps: List[Tuple[float, EpisodeEvent]] = []
+    offset = 0.0
+    for _ in range(flaps):
+        steps.append((offset, fail_link(destination, provider)))
+        offset += period
+        steps.append((offset, restore_link(destination, provider)))
+        offset += period
+    return Episode(
+        destination=destination,
+        steps=tuple(steps),
+        description=(
+            f"provider link {destination}-{provider} flaps {flaps}x "
+            f"(period {period}s)"
+        ),
+    )
+
+
+def staggered_maintenance_episode(
+    graph: ASGraph,
+    rng: random.Random,
+    *,
+    window: float = 60.0,
+    gap: float = 30.0,
+) -> Episode:
+    """Two providers go down for maintenance in consecutive windows.
+
+    The first provider AS fails at offset 0 and is restored after
+    ``window`` seconds; ``gap`` seconds later the second provider fails
+    for its own ``window``.  The windows never overlap, so a correctly
+    operated maintenance plan should keep the destination reachable
+    throughout — any transient problems are pure convergence damage.
+    (A multi-homed destination always has two distinct providers, so
+    every episode of this family has exactly four phases — campaigns
+    rely on uniform phase counts.)
+    """
+    if window <= 0 or gap < 0:
+        raise ConfigurationError(
+            "maintenance window must be positive and gap non-negative"
+        )
+    destination = _pick_multihomed(graph, rng)
+    providers = list(graph.providers(destination))
+    first = rng.choice(providers)
+    second = rng.choice([p for p in providers if p != first])
+    return Episode(
+        destination=destination,
+        steps=(
+            (0.0, fail_as(first)),
+            (window, restore_as(first)),
+            (window + gap, fail_as(second)),
+            (2 * window + gap, restore_as(second)),
+        ),
+        description=(
+            f"staggered maintenance of providers {first} and {second} "
+            f"(window {window}s, gap {gap}s)"
+        ),
+    )
+
+
+def correlated_outage_episode(
+    graph: ASGraph,
+    rng: random.Random,
+    *,
+    delay: float = 15.0,
+) -> Episode:
+    """Figure 3(a)'s two link failures, the second ``delay`` s later.
+
+    Reuses :func:`two_link_failures_distinct_as` to draw the link pair
+    — handing both builders the *same* ``random.Random`` object yields
+    the same pair, since the draw order is identical — then staggers
+    the second failure instead of applying both simultaneously: a
+    correlated outage unfolding over time, e.g. a shared-risk group
+    failing sequentially.  (Across *campaigns* the instances do not
+    align: campaign RNGs are seeded per ``kind`` string, and this
+    episode's kind necessarily differs from ``fig3a-distinct-as``.)
+    """
+    if delay < 0:
+        raise ConfigurationError("outage delay must be non-negative")
+    scenario = two_link_failures_distinct_as(graph, rng)
+    steps: List[Tuple[float, EpisodeEvent]] = [
+        (0.0, fail_link(*scenario.failed_links[0]))
+    ]
+    for link in scenario.failed_links[1:]:
+        steps.append((delay, fail_link(*link)))
+    return Episode(
+        destination=scenario.destination,
+        steps=tuple(steps),
+        description=f"correlated outage ({delay}s apart): {scenario.description}",
     )

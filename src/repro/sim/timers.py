@@ -155,6 +155,21 @@ class MRAIPacer:
             handle.cancel()
         self._next_allowed.pop(peer, None)
 
+    def reset(self) -> None:
+        """Cancel every armed timer and forget pacing history.
+
+        Used when the owning speaker reboots (an AS-restore episode
+        event): a restarted router has no pending advertisements and no
+        MRAI debt.  The per-peer jittered *intervals* are kept — they
+        model a per-run configuration constant, and re-drawing them
+        would consume engine RNG draws the non-rebooting twin of a run
+        never makes.
+        """
+        for handle in self._armed.values():
+            handle.cancel()
+        self._armed.clear()
+        self._next_allowed.clear()
+
     def _on_timer(self, peer: ASN) -> None:
         self._armed.pop(peer, None)
         self._next_allowed[peer] = self._engine.now + self.interval_for(peer)

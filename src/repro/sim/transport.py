@@ -47,6 +47,7 @@ class _Channel:
         "queue",
         "receiver",
         "deliver",
+        "pending_losses",
     )
 
     def __init__(self, transport: "Transport", src: ASN, dst: ASN, tag: Hashable) -> None:
@@ -61,6 +62,9 @@ class _Channel:
         self.receiver: Receiver | None = None
         #: The one bound method the engine schedules for every message.
         self.deliver = self._deliver
+        #: Head-of-queue messages already condemned by a failure event
+        #: (see :meth:`lose_in_flight`); consumed FIFO at delivery.
+        self.pending_losses = 0
 
     def __getstate__(self):
         """Pickle only durable channel state (twin-start snapshots).
@@ -69,10 +73,10 @@ class _Channel:
         re-binds in ``__setstate__``.
         """
         return (self.transport, self.src, self.dst, self.tag,
-                self.last_delivery, list(self.queue))
+                self.last_delivery, list(self.queue), self.pending_losses)
 
     def __setstate__(self, state) -> None:
-        transport, src, dst, tag, last_delivery, queued = state
+        transport, src, dst, tag, last_delivery, queued, pending_losses = state
         self.transport = transport
         self.src = src
         self.dst = dst
@@ -81,12 +85,32 @@ class _Channel:
         self.queue = deque(queued)
         self.receiver = None
         self.deliver = self._deliver
+        self.pending_losses = pending_losses
+
+    def lose_in_flight(self) -> None:
+        """Condemn every currently queued message (a failure instant).
+
+        Loss must be decided *at the failure*, not at delivery time: a
+        link or AS that recovers within one message delay (an episode's
+        instantaneous power-cycle) must still have killed whatever was
+        in flight when it went down.  The engine's delivery events stay
+        scheduled — each pops its message and counts it lost instead of
+        delivering; messages queued after a recovery sit behind the
+        condemned prefix and deliver normally.
+        """
+        self.pending_losses = len(self.queue)
 
     def _deliver(self) -> None:
         transport = self.transport
         message = self.queue.popleft()
-        # Messages in flight across a failure are lost.  (Fast path:
-        # with no failed element anywhere the link is trivially up.)
+        if self.pending_losses:
+            # Condemned by a failure event while in flight.
+            self.pending_losses -= 1
+            transport.messages_lost += 1
+            return
+        # Messages in flight toward a *still-failed* element are lost.
+        # (Fast path: with no failed element anywhere the link is
+        # trivially up.)
         if (
             transport._failed_links or transport._failed_ases
         ) and not transport.link_is_up(self.src, self.dst):
@@ -227,6 +251,9 @@ class Transport:
         if link in self._failed_links:
             return
         self._failed_links.add(link)
+        self._condemn_in_flight(
+            lambda src, dst: (src == a and dst == b) or (src == b and dst == a)
+        )
         targets = tuple(notify) or (a, b)
         for asn in targets:
             if asn in self._failed_ases:
@@ -240,17 +267,36 @@ class Transport:
         """Bring a failed link back up (route addition event)."""
         self._failed_links.discard(normalize_link(a, b))
 
+    def _condemn_in_flight(self, affects) -> None:
+        """Mark queued messages on affected channels lost (see
+        :meth:`_Channel.lose_in_flight`).  ``affects(src, dst)`` selects
+        the channels touched by the failure event."""
+        for (src, dst, _tag), channel in self._channels.items():
+            if channel.queue and affects(src, dst):
+                channel.lose_in_flight()
+
     def fail_as(self, asn: ASN, neighbors: Iterable[ASN]) -> None:
         """Fail an AS: every incident session resets for its neighbors."""
         if asn in self._failed_ases:
             return
         self._failed_ases.add(asn)
+        self._condemn_in_flight(lambda src, dst: src == asn or dst == asn)
         for nbr in neighbors:
             if nbr in self._failed_ases:
                 continue
             listener = self._down_listeners.get(nbr)
             if listener is not None:
                 listener(asn)
+
+    def restore_as(self, asn: ASN) -> None:
+        """Bring a failed AS back up (transport state only).
+
+        Sessions do *not* re-establish here — the owning network drives
+        the deterministic re-establishment sequence (the restored
+        router reboots with empty protocol state, then each live
+        neighbor re-advertises), because only it knows the speakers.
+        """
+        self._failed_ases.discard(asn)
 
     # ------------------------------------------------------------------
     # Messaging

@@ -136,14 +136,45 @@ class STAMPNetwork:
         self.transport.fail_link(a, b)
 
     def restore_link(self, a: ASN, b: ASN) -> None:
-        """Restore a link; both endpoints re-establish both sessions."""
+        """Restore a link; both endpoints re-establish both sessions.
+
+        Deterministic order: ``a``'s node first, then ``b``'s (each
+        node brings red up before blue and re-runs the provider gate).
+        No session forms while either endpoint AS is itself failed —
+        those wait for the endpoint's ``restore_as``.
+        """
         self.transport.restore_link(a, b)
-        self.nodes[a].on_session_up(b)
-        self.nodes[b].on_session_up(a)
+        if self.transport.link_is_up(a, b):
+            self.nodes[a].on_session_up(b)
+            self.nodes[b].on_session_up(a)
 
     def fail_as(self, asn: ASN) -> None:
-        """Fail an AS entirely."""
+        """Fail an AS entirely (its node freezes; neighbors reset).
+
+        Same semantics as :meth:`repro.bgp.network.BGPNetwork.fail_as`,
+        including the armed-timer caveat documented there.
+        """
         self.transport.fail_as(asn, self.graph.neighbors(asn))
+
+    def restore_as(self, asn: ASN) -> None:
+        """Bring a failed AS back (cold restart of both processes).
+
+        Mirrors :meth:`repro.bgp.network.BGPNetwork.restore_as`: the
+        node reboots with empty state (forgetting its locked blue
+        provider), then each live neighbor re-establishes both color
+        sessions in ascending-ASN order.  No-op when the AS is up.
+        """
+        if self.transport.as_is_up(asn):
+            return
+        self.transport.restore_as(asn)
+        live = [
+            nbr
+            for nbr in sorted(self.graph.neighbors(asn))
+            if self.transport.link_is_up(asn, nbr)
+        ]
+        self.nodes[asn].reboot(live)
+        for nbr in live:
+            self.nodes[nbr].on_session_up(asn)
 
     # ------------------------------------------------------------------
     # Observation

@@ -143,6 +143,27 @@ class STAMPNode:
         self.blue.on_session_up(peer)
         self._refresh_providers(EventType.NO_LOSS)
 
+    def reboot(self, peers) -> None:
+        """Restart both color processes with empty state (AS restore).
+
+        Red reboots first, then blue (the processes' fixed iteration
+        order) — both as pure state resets, so no export or gate
+        decision ever observes a half-rebooted sibling — then the
+        locked-blue-provider assignment is forgotten (a restarted node
+        re-selects when its blue process next holds a Lock obligation)
+        and both instability flags clear.  Only after all of that does
+        an origin node re-originate, red then blue: by then every gate
+        evaluation runs against fully reset processes.
+        """
+        self.locked_blue_provider = None
+        self._live_providers_cache = None
+        for process in self.processes.values():
+            process.reboot(peers)
+        self.clear_instability()
+        for process in self.processes.values():
+            if process.is_origin:
+                process.originate()
+
     # ------------------------------------------------------------------
     # Coordination: selective announcement toward providers
     # ------------------------------------------------------------------

@@ -136,3 +136,54 @@ class TestFailures:
         _, transport = setup
         transport.fail_as(1, neighbors=[])
         assert not transport.link_is_up(1, 2)
+
+
+class TestInFlightLossIsDecidedAtTheFailure:
+    """Regression: a failure kills what is in flight even if the failed
+    element recovers before the scheduled delivery time."""
+
+    def test_link_flap_within_one_delay_loses_the_message(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda src, msg: inbox.append(msg))
+        transport.send(1, 2, "doomed")
+        transport.fail_link(1, 2)
+        transport.restore_link(1, 2)  # back up before delivery fires
+        engine.run()
+        assert inbox == []
+        assert transport.messages_lost == 1
+
+    def test_as_power_cycle_within_one_delay_loses_both_directions(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(1, lambda src, msg: inbox.append((1, msg)))
+        transport.register_receiver(2, lambda src, msg: inbox.append((2, msg)))
+        transport.send(1, 2, "to the dying AS")
+        transport.send(2, 1, "from the dying AS")
+        transport.fail_as(2, neighbors=[1])
+        transport.restore_as(2)
+        engine.run()
+        assert inbox == []
+        assert transport.messages_lost == 2
+
+    def test_messages_sent_after_recovery_still_deliver(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(2, lambda src, msg: inbox.append(msg))
+        transport.send(1, 2, "doomed")
+        transport.fail_link(1, 2)
+        transport.restore_link(1, 2)
+        transport.send(1, 2, "fresh")
+        engine.run()
+        assert inbox == ["fresh"]
+        assert transport.messages_lost == 1
+
+    def test_unrelated_channels_are_untouched(self, setup):
+        engine, transport = setup
+        inbox = []
+        transport.register_receiver(3, lambda src, msg: inbox.append(msg))
+        transport.send(1, 3, "bystander")
+        transport.fail_link(1, 2)
+        engine.run()
+        assert inbox == ["bystander"]
+        assert transport.messages_lost == 0

@@ -17,6 +17,7 @@ import pytest
 REPO = Path(__file__).parent.parent
 README = REPO / "README.md"
 ARCHITECTURE = REPO / "docs" / "architecture.md"
+SCENARIOS = REPO / "docs" / "scenarios.md"
 
 
 def test_readme_exists():
@@ -25,6 +26,10 @@ def test_readme_exists():
 
 def test_architecture_doc_exists():
     assert ARCHITECTURE.is_file(), "docs/architecture.md is missing"
+
+
+def test_scenarios_doc_exists():
+    assert SCENARIOS.is_file(), "docs/scenarios.md is missing"
 
 
 def test_readme_referenced_files_exist():
@@ -69,3 +74,34 @@ def test_architecture_doctests_pass():
     )
     assert results.failed == 0, f"{results.failed} doctest(s) failed"
     assert results.attempted > 0, "architecture.md lost its doctests"
+
+
+def test_scenarios_covers_the_event_model():
+    """The guide must document every event kind and the timing rules."""
+    text = SCENARIOS.read_text()
+    for factory in ("fail_link", "restore_link", "fail_as", "restore_as"):
+        assert f"`{factory}(" in text, f"no event-model entry for {factory}"
+    for section in (
+        "Determinism and timing rules",
+        "The paper's figures as episodes",
+        "Campaigns",
+    ):
+        assert section in text, f"scenario guide lost its {section!r} section"
+    # Each paper workload must be mapped onto the episode model.
+    for builder in (
+        "single_provider_link_failure",
+        "two_link_failures_distinct_as",
+        "two_link_failures_same_as",
+        "provider_node_failure",
+        "link_recovery",
+    ):
+        assert builder in text, f"figure mapping lost {builder}"
+
+
+def test_scenarios_doctests_pass():
+    """The same check `python -m doctest docs/scenarios.md` runs."""
+    results = doctest.testfile(
+        str(SCENARIOS), module_relative=False, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "scenarios.md lost its doctests"

@@ -39,6 +39,7 @@ def test_examples_directory_is_complete():
         "disjoint_path_analysis",
         "failure_comparison",
         "inference_pipeline",
+        "link_flap_study",
         "partial_deployment",
         "quickstart",
     ]
@@ -56,6 +57,14 @@ def test_failure_comparison(capsys):
     out = capsys.readouterr().out
     assert "Mean ASes with transient problems" in out
     assert "data-plane disruption" in out
+
+
+def test_link_flap_study(capsys):
+    _load("link_flap_study").main(instances=1, topology=TINY, period=30.0, flaps=1)
+    out = capsys.readouterr().out
+    assert "episode-wide" in out
+    assert "Per-phase attribution" in out
+    assert "restore #0" in out
 
 
 def test_disjoint_path_analysis(capsys):
@@ -85,8 +94,8 @@ def test_inference_pipeline(capsys):
 
 @pytest.mark.parametrize(
     "name",
-    ["quickstart", "failure_comparison", "disjoint_path_analysis",
-     "partial_deployment", "inference_pipeline"],
+    ["quickstart", "failure_comparison", "link_flap_study",
+     "disjoint_path_analysis", "partial_deployment", "inference_pipeline"],
 )
 def test_examples_have_main(name):
     module = _load(name)
