@@ -33,16 +33,26 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.phi import _UPHILL_CACHE, phi_distribution
-from repro.analysis.transient import analyze_transient_problems
+from repro.analysis.transient import (
+    analyze_episode_transient_problems,
+    analyze_transient_problems,
+)
 from repro.bgp.decision import best_route
 from repro.experiments.figures import fig2_single_link_failure
-from repro.experiments.runner import ExperimentConfig, build_network
-from repro.experiments.scenarios import single_provider_link_failure
+from repro.experiments.runner import (
+    ExperimentConfig,
+    build_network,
+    collect_episode_segments,
+)
+from repro.experiments.scenarios import (
+    link_flap_episode,
+    single_provider_link_failure,
+)
+from repro.types import EventType, normalize_link
 from repro.topology.generators import (
     InternetTopologyConfig,
     generate_internet_topology,
 )
-from repro.types import normalize_link
 
 OUTPUT_PATH = Path(os.environ.get("REPRO_BENCH_PERF_OUT", "BENCH_perf.json"))
 
@@ -296,6 +306,69 @@ def test_transient_analysis(benchmark, graph, perf_records, protocol):
         f"transient_analysis_{protocol}",
         benchmark,
         trace_changes=len(network.trace.changes),
+    )
+
+
+def test_transient_analysis_stamp_episode(benchmark, graph, perf_records):
+    """Multi-phase episode analysis over a STAMP flap workload.
+
+    Exercises the per-segment successor-table rebuilds and the forced
+    boundary rescans at every phase boundary — the costs the
+    single-event ``transient_analysis_stamp`` entry never sees.
+    """
+    episode = link_flap_episode(
+        graph, random.Random("bench:ep"), period=25.0, flaps=2
+    )
+    network, plane = build_network("stamp", graph, episode.destination, seed=0)
+    for a, b in episode.pre_failed_links:
+        network.transport.fail_link(a, b)
+    network.start()
+    segments, _ = collect_episode_segments(network, episode)
+
+    report = benchmark(
+        analyze_episode_transient_problems, segments, plane, graph.ases
+    )
+    assert report.overall.eligible
+    _record(
+        perf_records,
+        "transient_analysis_stamp_episode",
+        benchmark,
+        phases=len(segments),
+        trace_changes=sum(len(s.trace.changes) for s in segments),
+    )
+
+
+def test_stamp_provider_refresh(benchmark, graph, perf_records):
+    """STAMP provider-direction refresh over the multihomed nodes.
+
+    Each round re-runs the full gate evaluation for every multihomed
+    node (signature certificates are cleared first) and then the
+    certified no-op refresh once more — both halves of the
+    gate-signature cache introduced with the successor-table overhaul.
+    On a converged network every refresh is advertisement-neutral, so
+    rounds are independent.
+    """
+    destination = graph.ases[len(graph.ases) // 3]
+    network, _ = build_network("stamp", graph, destination, seed=0)
+    network.start()
+    nodes = [
+        node
+        for node in network.nodes.values()
+        if len(node._providers) >= 2
+    ]
+    assert nodes
+
+    def run():
+        for node in nodes:
+            node._sig_red = node._sig_blue = None
+            node._refresh_providers(EventType.NO_LOSS)
+            node._refresh_providers(EventType.NO_LOSS)
+        return len(nodes)
+
+    result = benchmark(run)
+    assert result == len(nodes)
+    _record(
+        perf_records, "stamp_provider_refresh", benchmark, nodes=len(nodes)
     )
 
 

@@ -7,7 +7,9 @@ with ``--threshold`` or ``REPRO_PERF_THRESHOLD``).  Benchmarks whose
 scale parameters differ between the runs (e.g. the committed baseline
 was measured at 6 instances but CI smoke runs 1) are skipped — wall
 clock is only comparable at equal workload — as are benchmarks present
-in only one file (new or retired entries are reported, not failed).
+in only one file (new or retired entries are reported, not failed) and
+benchmarks whose recorded ``cpus`` differs (the parallel e2e bench is
+CPU-count-sensitive; a 1-CPU baseline must not gate a 4-vCPU run).
 
 Usage (what ci.yml runs)::
 
@@ -24,8 +26,18 @@ import sys
 from pathlib import Path
 
 #: Per-benchmark fields that define the workload; a mismatch on any of
-#: them makes the timings incomparable.
-WORKLOAD_FIELDS = ("instances", "scale", "workers", "ases", "destinations")
+#: them makes the timings incomparable.  ``cpus`` covers the parallel
+#: e2e bench: its wall clock depends on the machine's core count, so a
+#: baseline recorded on different hardware must not be gated against
+#: (it records the count per entry exactly for this comparison).
+WORKLOAD_FIELDS = (
+    "instances",
+    "scale",
+    "workers",
+    "cpus",
+    "ases",
+    "destinations",
+)
 
 
 def load(path: str) -> dict:

@@ -8,17 +8,23 @@ forwarding-change trace and classify every eligible AS at every instant
 at which any control-plane state changed, including the instant of the
 event itself.
 
-The scan is *incremental*: a walk's outcome is a deterministic function
-of the state keys it reads (reported by
-:class:`repro.forwarding.walk.AnalysisSession`), so after one full
-vectorized scan only the ASes whose recorded dependencies intersect an
-instant's changed keys are re-walked — and a changed key only counts
-when its *fingerprint* (the projection walks can observe, e.g. a
-route's next hop) actually changed.  On Internet-like topologies a
-convergence instant typically touches one or two ASes' forwarding
-state, turning the per-instant cost from O(all eligible walks) into
-O(affected walks).  :func:`_reference_analyze_transient_problems` keeps
-the full-rescan implementation for equivalence tests.
+The scan is *incremental*, with two engines.  Planes whose walk-state
+space projects onto flat integer successor tables (STAMP) hand the
+session a table that is updated per fingerprint-changed key and
+propagates outcome changes through a reverse-adjacency index — the
+analyzer receives exactly the sources whose packet fate changed, with
+no per-source dependency bookkeeping at all.  For the other planes, a
+walk's outcome is a deterministic function of the state keys it reads
+(reported by :class:`repro.forwarding.walk.AnalysisSession`), so after
+one full vectorized scan only the ASes whose recorded dependencies
+intersect an instant's changed keys are re-walked — and a changed key
+only counts when its *fingerprint* (the projection walks can observe,
+e.g. a route's next hop) actually changed.  On Internet-like
+topologies a convergence instant typically touches one or two ASes'
+forwarding state, turning the per-instant cost from O(all eligible
+walks) into O(affected walks).
+:func:`_reference_analyze_transient_problems` keeps the full-rescan
+implementation for equivalence tests.
 
 Timed episodes (:mod:`repro.experiments.scenarios`) generalize the
 single-event analysis to a *sequence* of :class:`EpisodeSegment`
@@ -266,17 +272,21 @@ class _IncrementalScan:
             failed_links=failed_links,
             failed_ases=failed_ases,
         )
-        key_fingerprint = self.session.spec.key_fingerprint
+        spec = self.session.spec
+        key_fingerprint = spec.key_fingerprint
         self.key_fingerprint = key_fingerprint
         # Fingerprint filter: walks observe only a projection of each
         # snapshot value (e.g. a route's next hop, never the full
         # path), so a value change whose fingerprint is unchanged
         # cannot change any outcome and is dropped before the
         # dependency lookup.
-        self.fingerprints = {
-            key: key_fingerprint(key, value)
-            for key, value in initial_state.items()
-        }
+        if spec.bulk_fingerprint is not None:
+            self.fingerprints = spec.bulk_fingerprint(initial_state)
+        else:
+            self.fingerprints = {
+                key: key_fingerprint(key, value)
+                for key, value in initial_state.items()
+            }
         self.deps_of = {}
         self.dependents = {}
         self.segment_scanned = False
@@ -292,76 +302,165 @@ class _IncrementalScan:
         if Outcome.BLACKHOLE in kinds:
             report.blackholed.add(asn)
 
-    def _apply(self, asn: ASN, outcome: Outcome, reads: set, time: float) -> None:
-        deps_of = self.deps_of
-        dependents = self.dependents
-        old_reads = deps_of.get(asn)
-        if old_reads is None:
-            for key in reads:
-                sources = dependents.get(key)
-                if sources is None:
-                    sources = dependents[key] = set()
-                sources.add(asn)
-            deps_of[asn] = reads
-        elif reads is not old_reads and reads != old_reads:
-            for key in old_reads - reads:
-                dependents[key].discard(asn)
-            for key in reads - old_reads:
-                sources = dependents.get(key)
-                if sources is None:
-                    sources = dependents[key] = set()
-                sources.add(asn)
-            deps_of[asn] = reads
-
-        old = self.outcome_of.get(asn)
-        self.outcome_of[asn] = outcome
-        problem_since = self.problem_since
-        if outcome is Outcome.DELIVERED:
-            if old is not None and old is not Outcome.DELIVERED:
-                self.problems_now -= 1
-                if asn in problem_since:
-                    self._close_interval(asn, time)
-            return
-        if old is None or old is Outcome.DELIVERED:
-            self.problems_now += 1
-        if asn not in problem_since:
-            problem_since[asn] = (time, set())
-        problem_since[asn][1].add(outcome)
-
     def scan(self, state: Dict, time: float, changed_keys: Optional[set]) -> None:
         key_fingerprint = self.key_fingerprint
         fingerprints = self.fingerprints
+        fingerprints_get = fingerprints.get
+        absent = self._ABSENT
+        session = self.session
+        outcome_of = self.outcome_of
         if not self.segment_scanned:
+            # First scan of the segment: fold the instant's changes into
+            # the fingerprints, then classify every eligible source —
+            # building the plane's successor table (when it has one)
+            # from the now-current snapshot, with incremental outcome
+            # propagation serving every later instant.
             for key in changed_keys or ():
-                fingerprints[key] = key_fingerprint(key, state.get(key))
-            targets: Iterable[ASN] = sorted(self.eligible)
+                value = state.get(key)
+                fingerprint = key_fingerprint(key, value)
+                if fingerprints_get(key, absent) != fingerprint:
+                    fingerprints[key] = fingerprint
             self.segment_scanned = True
-        else:
-            touched: Set[ASN] = set()
-            for key in changed_keys or ():
-                fingerprint = key_fingerprint(key, state.get(key))
-                if fingerprints.get(key, self._ABSENT) == fingerprint:
-                    continue
-                fingerprints[key] = fingerprint
-                sources = self.dependents.get(key)
-                if sources:
-                    touched |= sources
-            targets = sorted(touched)
-        if targets:
-            session = self.session
             session.rebind(state)
-            classified = session.classify_many(targets)
-            outcome_of = self.outcome_of
-            deps_of = self.deps_of
-            for asn in targets:
-                outcome, reads = classified[asn]
-                if outcome is outcome_of.get(asn) and reads is deps_of.get(asn):
-                    continue
-                self._apply(asn, outcome, reads, time)
+            table = session.ensure_table()
+            if table is not None:
+                self._apply_pairs(
+                    table.source_outcomes(self.eligible).items(), time
+                )
+            else:
+                self._apply_transitions(
+                    session.classify_into(
+                        sorted(self.eligible),
+                        outcome_of,
+                        self.deps_of,
+                        self.dependents,
+                    ),
+                    time,
+                )
+        else:
+            table = session.table
+            if table is not None:
+                # Propagation mode: feed the fingerprint-changed keys
+                # straight into the table; it knows exactly which
+                # source fates changed, so no dependency index exists.
+                for key in changed_keys or ():
+                    value = state.get(key)
+                    fingerprint = key_fingerprint(key, value)
+                    if fingerprints_get(key, absent) == fingerprint:
+                        continue
+                    fingerprints[key] = fingerprint
+                    table.update(key, value)
+                if table.broken:
+                    # A snapshot the table cannot represent appeared:
+                    # fall back to the closure engine for good, seeding
+                    # its dependency index with one full scan.
+                    self.session.table = None
+                    session.rebind(state)
+                    self._apply_transitions(
+                        session.classify_into(
+                            sorted(self.eligible),
+                            outcome_of,
+                            self.deps_of,
+                            self.dependents,
+                        ),
+                        time,
+                    )
+                else:
+                    pairs = table.collect_transitions()
+                    if pairs:
+                        eligible = self.eligible
+                        self._apply_pairs(
+                            (
+                                (asn, outcome)
+                                for asn, outcome in pairs
+                                if asn in eligible
+                            ),
+                            time,
+                        )
+            else:
+                dependents_get = self.dependents.get
+                touched: Optional[Set[ASN]] = None
+                touched_owned = False
+                for key in changed_keys or ():
+                    value = state.get(key)
+                    fingerprint = key_fingerprint(key, value)
+                    if fingerprints_get(key, absent) == fingerprint:
+                        continue
+                    fingerprints[key] = fingerprint
+                    sources = dependents_get(key)
+                    if sources:
+                        # Borrow the live index set while only one key
+                        # contributes (list() below materializes before
+                        # the index can change).  Classification order
+                        # is immaterial: every source is classified
+                        # independently against the same snapshot and
+                        # the index merges commute, so no sort is
+                        # needed.
+                        if touched is None:
+                            touched = sources
+                        elif touched_owned:
+                            touched |= sources
+                        else:
+                            touched = touched | sources
+                            touched_owned = True
+                if touched:
+                    session.rebind(state)
+                    self._apply_transitions(
+                        session.classify_into(
+                            list(touched),
+                            outcome_of,
+                            self.deps_of,
+                            self.dependents,
+                        ),
+                        time,
+                    )
         self.report.timeline.append((time, len(self.report.affected)))
         self.report.problem_timeline.append((time, self.problems_now))
         self.scanned_any = True
         self.last_time = time
+
+    def _apply_pairs(self, pairs, time: float) -> None:
+        """Fold ``(source, new outcome)`` pairs into the interval state."""
+        outcome_of = self.outcome_of
+        problem_since = self.problem_since
+        delivered = Outcome.DELIVERED
+        for asn, outcome in pairs:
+            old = outcome_of.get(asn)
+            if outcome is old:
+                continue
+            outcome_of[asn] = outcome
+            if outcome is delivered:
+                if old is not None:
+                    self.problems_now -= 1
+                    if asn in problem_since:
+                        self._close_interval(asn, time)
+            else:
+                if old is None or old is delivered:
+                    self.problems_now += 1
+                entry = problem_since.get(asn)
+                if entry is None:
+                    problem_since[asn] = (time, {outcome})
+                else:
+                    entry[1].add(outcome)
+
+    def _apply_transitions(self, transitions, time: float) -> None:
+        """Fold ``(source, new, old)`` outcome transitions in."""
+        problem_since = self.problem_since
+        delivered = Outcome.DELIVERED
+        for asn, outcome, old in transitions:
+            if outcome is delivered:
+                if old is not None:
+                    self.problems_now -= 1
+                    if asn in problem_since:
+                        self._close_interval(asn, time)
+            else:
+                if old is None or old is delivered:
+                    self.problems_now += 1
+                entry = problem_since.get(asn)
+                if entry is None:
+                    problem_since[asn] = (time, {outcome})
+                else:
+                    entry[1].add(outcome)
 
     def finalize(
         self,

@@ -95,10 +95,16 @@ class BGPNetwork:
 
         Returns the simulated time at which the network first converged.
         The trace is cleared afterwards so experiments see only
-        post-event dynamics.
+        post-event dynamics — recording is therefore suspended outright
+        for the initial convergence instead of building throwaway
+        change objects.
         """
-        self._originate()
-        self.run_to_convergence()
+        self.trace.suspend()
+        try:
+            self._originate()
+            self.run_to_convergence()
+        finally:
+            self.trace.resume()
         self.trace.clear()
         return self.engine.now
 

@@ -132,6 +132,11 @@ class AdjRibIn:
         """Route learned from a neighbor, if any."""
         return self._routes.get(neighbor)
 
+    def clear(self) -> None:
+        """Drop every stored route (speaker reboot) in place."""
+        self._routes.clear()
+        self._sorted = None
+
     def routes(self) -> Tuple[Route, ...]:
         """All stored routes, in deterministic (neighbor ASN) order.
 

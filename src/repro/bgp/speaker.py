@@ -55,8 +55,11 @@ from repro.types import (
 
 #: Export gate: ``(peer, route) -> (allow, lock)``.
 ExportGate = Callable[[ASN, Route], Tuple[bool, bool]]
-#: Best-change observer: ``(speaker, old, new, et)``.
-BestChangeListener = Callable[["BGPSpeaker", Optional[Route], Optional[Route], EventType], None]
+#: Best-change observer: ``(speaker, old, new, et, root_cause)``.
+BestChangeListener = Callable[
+    ["BGPSpeaker", Optional[Route], Optional[Route], EventType, Optional[Link]],
+    None,
+]
 
 #: What we last advertised to a peer: (path-including-self, lock bit).
 Advertised = Tuple[ASPath, bool]
@@ -87,12 +90,14 @@ class SpeakerConfig:
     prefer_locked: bool = False
 
 
-@dataclass
 class _PendingContext:
     """Event context accumulated between decision and MRAI flush."""
 
-    et: EventType = EventType.NO_LOSS
-    root_cause: Optional[Link] = None
+    __slots__ = ("et", "root_cause")
+
+    def __init__(self) -> None:
+        self.et = EventType.NO_LOSS
+        self.root_cause: Optional[Link] = None
 
     def merge(self, et: EventType, root_cause: Optional[Link]) -> None:
         if et is EventType.LOSS:
@@ -119,6 +124,8 @@ class BGPSpeaker:
         export_gate: Optional[ExportGate] = None,
         gate_peers: Optional[Iterable[ASN]] = None,
         on_best_change: Optional[BestChangeListener] = None,
+        shared_tables: Optional[Tuple[Dict, Dict]] = None,
+        gate_refresh_delegated: bool = False,
     ) -> None:
         self.asn = asn
         self.graph = graph
@@ -137,6 +144,16 @@ class BGPSpeaker:
         self.gate_peers: Optional[frozenset] = (
             frozenset(gate_peers) if gate_peers is not None else None
         )
+        #: True when the ``on_best_change`` listener synchronously
+        #: refreshes every ``gate_peers`` session with this decision's
+        #: exact event context (STAMP's node does), so the speaker's
+        #: own fan-out may skip them: re-evaluating the gate for those
+        #: peers right after the listener ran is a provable no-op.
+        self.gate_refresh_delegated = gate_refresh_delegated
+        #: Gate peers the listener explicitly handed back to this
+        #: decision's fan-out (deferred recolor withdrawals keep their
+        #: historical sorted-session dispatch position this way).
+        self._gate_refresh_pending: Optional[List[ASN]] = None
         self.on_best_change = on_best_change
 
         self.sessions: Set[ASN] = set(
@@ -147,12 +164,26 @@ class BGPSpeaker:
         self.sessions_version: int = 0
         #: Cached ``sorted(self.sessions)``; rebuilt after session churn.
         self._sessions_sorted: Optional[Tuple[ASN, ...]] = None
+        #: Cached per-class export fan-out (see ``schedule_exports``),
+        #: validated by ``sessions_version``.
+        self._fanout_cache: Optional[Tuple[int, Tuple]] = None
         #: Per-neighbor local preference and relationship, so neither
         #: route insertion (and hence the decision process) nor the
         #: valley-free export check does graph lookups on the hot path.
-        self._pref_table: Dict[ASN, int] = {}
-        self._rel_table: Dict[ASN, Relationship] = {}
-        self._tables_version: int = -1
+        #: Seeded eagerly (one adjacency-row copy beats per-neighbor
+        #: lazy misses — every neighbor is consulted by the export
+        #: fan-out anyway); co-located speakers of one AS (STAMP's
+        #: color pair) share one pre-populated pair via
+        #: ``shared_tables`` instead of each deriving its own.
+        if shared_tables is not None:
+            self._pref_table, self._rel_table = shared_tables
+        else:
+            self._rel_table = graph.neighbor_relationships(asn)
+            self._pref_table = {
+                neighbor: RELATIONSHIP_PREFERENCE[rel]
+                for neighbor, rel in self._rel_table.items()
+            }
+        self._tables_version = graph.version
         self.adj_rib_in = AdjRibIn()
         self.best: Optional[Route] = None
         #: Sort key of :attr:`best` (maintained by ``_run_decision``);
@@ -176,13 +207,18 @@ class BGPSpeaker:
         """Pickle without derived caches (twin-start snapshots).
 
         Everything dropped here is rebuilt lazily on first use;
-        restoring with cold caches is behavior-identical.
+        restoring with cold caches is behavior-identical.  The graph
+        itself is dropped too — the snapshot owner re-binds the shared
+        topology on restore, which keeps the whole pickled object graph
+        free of it (no per-object ``persistent_id`` hook needed).
         """
         state = self.__dict__.copy()
+        state["graph"] = None
         state["_pref_table"] = {}
         state["_rel_table"] = {}
         state["_tables_version"] = -1
         state["_sessions_sorted"] = None
+        state["_fanout_cache"] = None
         state["_export_path"] = None
         return state
 
@@ -238,7 +274,7 @@ class BGPSpeaker:
         """Process one incoming update from a neighbor."""
         if sender not in self.sessions:
             return  # stale message from a torn-down session
-        if isinstance(message, Announcement):
+        if type(message) is Announcement or isinstance(message, Announcement):
             if import_accept(self.asn, message.path):
                 route = Route(
                     path=message.path,
@@ -314,9 +350,10 @@ class BGPSpeaker:
         self.sessions = set(peers)
         self.sessions_version += 1
         self._sessions_sorted = None
-        self.adj_rib_in = AdjRibIn()
+        self.adj_rib_in.clear()
         self._advertised.clear()
         self._pending.clear()
+        self._gate_refresh_pending = None
         old = self.best
         self.best = None
         self._best_key = None
@@ -412,7 +449,7 @@ class BGPSpeaker:
         et_out = EventType.LOSS if cause_et is EventType.LOSS else EventType.NO_LOSS
         self._record_best_change(old, new)
         if self.on_best_change is not None:
-            self.on_best_change(self, old, new, et_out)
+            self.on_best_change(self, old, new, et_out, root_cause)
         self.schedule_exports(et_out, root_cause)
 
     def _record_best_change(self, old: Optional[Route], new: Optional[Route]) -> None:
@@ -479,15 +516,27 @@ class BGPSpeaker:
         Gated (STAMP) speakers take the per-peer evaluation, but only
         for the peers inside :attr:`gate_peers` (STAMP's coloring is
         peer-specific toward providers only); a gate without a declared
-        peer scope gates everything.
+        peer scope gates everything.  With
+        :attr:`gate_refresh_delegated`, the gate peers were already
+        refreshed — synchronously, with this decision's exact event
+        context — by the ``on_best_change`` listener that runs
+        immediately before this fan-out, so re-running the gate for
+        them here could only re-derive the advertised state they
+        already hold and is skipped outright (golden-pinned).
         """
         gate_peers: frozenset = frozenset()
+        refresh_gated = True
+        queued: Optional[List[ASN]] = None
         if self.export_gate is not None:
             if self.gate_peers is None:
                 for peer in self.sorted_sessions():
                     self.refresh_peer(peer, et=et, root_cause=root_cause)
                 return
             gate_peers = self.gate_peers
+            refresh_gated = not self.gate_refresh_delegated
+            if not refresh_gated:
+                queued = self._gate_refresh_pending
+                self._gate_refresh_pending = None
         best = self.best
         learned_from: Optional[ASN] = None
         desired_customer: Optional[Advertised] = None
@@ -503,13 +552,33 @@ class BGPSpeaker:
                 desired_other = desired_customer
         advertised_get = self._advertised.get
         pending = self._pending
-        for peer in self.sorted_sessions():
-            if peer in gate_peers:
-                self.refresh_peer(peer, et=et, root_cause=root_cause)
+        # Per-session-generation fan-out list: every peer in sorted
+        # (send) order with its class — gated / customer / other —
+        # resolved once, so the per-decision loop does no relationship
+        # table lookups or gate-membership tests, while keeping the
+        # exact send (and hence delay-draw) order of the plain loop.
+        fanout = self._fanout_cache
+        if fanout is None or fanout[0] != self.sessions_version:
+            fanout = self._fanout_cache = (
+                self.sessions_version,
+                tuple(
+                    (
+                        peer,
+                        0
+                        if peer in gate_peers
+                        else (1 if rel(peer) is Relationship.CUSTOMER else 2),
+                    )
+                    for peer in self.sorted_sessions()
+                ),
+            )
+        for peer, kind in fanout[1]:
+            if kind == 0:
+                if refresh_gated or (queued is not None and peer in queued):
+                    self.refresh_peer(peer, et=et, root_cause=root_cause)
                 continue
             if peer == learned_from:
                 desired = None
-            elif rel(peer) is Relationship.CUSTOMER:
+            elif kind == 1:
                 desired = desired_customer
             else:
                 desired = desired_other
@@ -571,7 +640,9 @@ class BGPSpeaker:
         else:
             # Timer armed: remember the strongest pending event context
             # for the eventual batched flush.
-            context = self._pending.setdefault(peer, _PendingContext())
+            context = self._pending.get(peer)
+            if context is None:
+                context = self._pending[peer] = _PendingContext()
             context.merge(et, root_cause)
 
     def _flush_peer(self, peer: ASN) -> None:
@@ -641,6 +712,30 @@ class BGPSpeaker:
     def is_advertising(self, peer: ASN) -> bool:
         """Whether we currently have a route advertised to a peer."""
         return peer in self._advertised
+
+    def gate_refresh_queue(self, peer: ASN) -> None:
+        """Hand one gate peer back to the current decision's fan-out.
+
+        Used by a delegating listener (see ``gate_refresh_delegated``)
+        for the rare gate peer it could *not* settle synchronously — a
+        deferred recolor withdrawal — so :meth:`schedule_exports`
+        still refreshes that peer in its usual sorted position.
+        """
+        queued = self._gate_refresh_pending
+        if queued is None:
+            self._gate_refresh_pending = [peer]
+        elif peer not in queued:
+            queued.append(peer)
+
+    def is_settled(self, peer: ASN, desired: Optional[Advertised]) -> bool:
+        """Whether a refresh toward ``desired`` would be a pure no-op.
+
+        True when the peer's Adj-RIB-Out already matches ``desired``
+        and no event context is pending behind an armed MRAI timer —
+        exactly the certificate STAMP's gate-signature cache needs
+        before eliding a provider refresh.
+        """
+        return desired == self._advertised.get(peer) and peer not in self._pending
 
     @property
     def forwarding_path(self) -> Optional[ASPath]:

@@ -39,7 +39,6 @@ byte-identical either way (the golden determinism tests pin this).
 from __future__ import annotations
 
 import hashlib
-import io
 import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -184,29 +183,34 @@ def build_network(
 class _StartSnapshot:
     """A started network, pickled with the topology shared by reference.
 
-    The graph is replaced by a persistent-id token during pickling and
-    re-bound to the *same* :class:`ASGraph` object on restore, so the
-    snapshot costs only the protocol state (RIBs, channels, RNG), not a
-    topology copy — and the restored network keeps using the caller's
-    indexed graph views.
+    The graph is detached during pickling — the network's own
+    reference is swapped out and every speaker's ``__getstate__``
+    drops its copy — and re-bound to the *same* :class:`ASGraph`
+    object on restore.  The snapshot therefore costs only the protocol
+    state (RIBs, channels, RNG), not a topology copy, the restored
+    network keeps using the caller's indexed graph views, and the
+    pickled object graph never contains the topology at all (a
+    per-object ``persistent_id`` hook would cost one Python call per
+    pickled object — six figures per snapshot).
     """
 
-    _GRAPH_TOKEN = "graph"
-
     def __init__(self, network, graph: ASGraph) -> None:
-        buffer = io.BytesIO()
-        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
-        pickler.persistent_id = (
-            lambda obj: self._GRAPH_TOKEN if obj is graph else None
-        )
-        pickler.dump(network)
-        self._payload = buffer.getvalue()
+        network.graph = None
+        try:
+            self._payload = pickle.dumps(
+                network, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        finally:
+            network.graph = graph
         self._graph = graph
 
     def restore(self):
-        unpickler = pickle.Unpickler(io.BytesIO(self._payload))
-        unpickler.persistent_load = lambda pid: self._graph
-        return unpickler.load()
+        network = pickle.loads(self._payload)
+        graph = self._graph
+        network.graph = graph
+        for speaker in network.speakers.values():
+            speaker.graph = graph
+        return network
 
 
 #: Single-slot cache for R-BGP twin-start sharing:
@@ -451,6 +455,75 @@ def _apply_episode_event(network, event: EpisodeEvent) -> None:
         raise ConfigurationError(f"unknown episode event kind {kind!r}")
 
 
+def collect_episode_segments(
+    network, episode: Episode, instants=None
+) -> Tuple[List[EpisodeSegment], float]:
+    """Drive one started network through an episode; return its phases.
+
+    Schedules one injector per distinct step offset (via the engine's
+    handle-free ``post_at`` at ``now + offset``), drains the run to
+    quiescence, and slices the trace into per-phase
+    :class:`~repro.analysis.transient.EpisodeSegment` values — the
+    exact input both episode analyzers consume.  Shared by
+    :func:`run_episode` (which passes its already-computed
+    ``episode.instants()`` so both stay one derivation) and the perf
+    bench (which needs the segments without the analysis).  Returns
+    ``(segments, convergence_time)``.
+    """
+    engine = network.engine
+    trace = network.trace
+    transport = network.transport
+    base = engine.now
+    if instants is None:
+        instants = episode.instants()
+    #: Per-phase marks captured by the injectors at fire time:
+    #: (time, pre-injection state, trace start index, post-injection
+    #: failed links, post-injection failed ASes, pre-injection failed
+    #: ASes).
+    marks: List[Tuple[float, Dict, int, frozenset, frozenset, frozenset]] = []
+
+    def _make_injector(events: Tuple[EpisodeEvent, ...]):
+        def inject() -> None:
+            time = engine.now
+            state = network.forwarding_state()
+            trace_start = len(trace.changes)
+            failed_ases_before = frozenset(transport.failed_ases)
+            for event in events:
+                _apply_episode_event(network, event)
+            marks.append(
+                (
+                    time,
+                    state,
+                    trace_start,
+                    frozenset(transport.failed_links),
+                    frozenset(transport.failed_ases),
+                    failed_ases_before,
+                )
+            )
+        return inject
+
+    for offset, _, events in instants:
+        engine.post_at(base + offset, _make_injector(events))
+    convergence_time = network.run_to_convergence()
+
+    segments: List[EpisodeSegment] = []
+    for k, (
+        time, state, trace_start, failed_links, failed_ases, failed_before
+    ) in enumerate(marks):
+        trace_end = marks[k + 1][2] if k + 1 < len(marks) else len(trace.changes)
+        segments.append(
+            EpisodeSegment(
+                trace=ForwardingTrace(changes=trace.changes[trace_start:trace_end]),
+                initial_state=state,
+                failed_links=failed_links,
+                failed_ases=failed_ases,
+                start_time=time,
+                failed_ases_at_start=failed_before,
+            )
+        )
+    return segments, convergence_time
+
+
 def run_episode(
     graph: ASGraph,
     episode: Episode,
@@ -491,56 +564,10 @@ def run_episode(
     announcements_before = network.stats.announcements
     withdrawals_before = network.stats.withdrawals
 
-    engine = network.engine
-    trace = network.trace
-    transport = network.transport
-    base = engine.now
     instants = episode.instants()
-    #: Per-phase marks captured by the injectors at fire time:
-    #: (time, pre-injection state, trace start index, post-injection
-    #: failed links, post-injection failed ASes, pre-injection failed
-    #: ASes).
-    marks: List[Tuple[float, Dict, int, frozenset, frozenset, frozenset]] = []
-
-    def _make_injector(events: Tuple[EpisodeEvent, ...]):
-        def inject() -> None:
-            time = engine.now
-            state = dict(network.forwarding_state())
-            trace_start = len(trace.changes)
-            failed_ases_before = frozenset(transport.failed_ases)
-            for event in events:
-                _apply_episode_event(network, event)
-            marks.append(
-                (
-                    time,
-                    state,
-                    trace_start,
-                    frozenset(transport.failed_links),
-                    frozenset(transport.failed_ases),
-                    failed_ases_before,
-                )
-            )
-        return inject
-
-    for offset, _, events in instants:
-        engine.post_at(base + offset, _make_injector(events))
-    convergence_time = network.run_to_convergence()
-
-    segments: List[EpisodeSegment] = []
-    for k, (
-        time, state, trace_start, failed_links, failed_ases, failed_before
-    ) in enumerate(marks):
-        trace_end = marks[k + 1][2] if k + 1 < len(marks) else len(trace.changes)
-        segments.append(
-            EpisodeSegment(
-                trace=ForwardingTrace(changes=trace.changes[trace_start:trace_end]),
-                initial_state=state,
-                failed_links=failed_links,
-                failed_ases=failed_ases,
-                start_time=time,
-                failed_ases_at_start=failed_before,
-            )
-        )
+    segments, convergence_time = collect_episode_segments(
+        network, episode, instants
+    )
     analysis = analyze_episode_transient_problems(segments, plane, graph.ases)
     phases = tuple(
         EpisodePhase(

@@ -53,7 +53,16 @@ class BGPDataPlane(WalkClassifier):
             # Walks only ever look at a route's next hop.
             return value[0] if value else None
 
-        return WalkSpec(start, successor, delivered, reads_buf, key_fingerprint)
+        def bulk_fingerprint(snapshot):
+            return {
+                key: (value[0] if value else None)
+                for key, value in snapshot.items()
+            }
+
+        return WalkSpec(
+            start, successor, delivered, reads_buf, key_fingerprint,
+            bulk_fingerprint,
+        )
 
     def classify(
         self,

@@ -151,7 +151,18 @@ class RBGPDataPlane(WalkClassifier):
                 return value[0] if value else None
             return value
 
-        return WalkSpec(start, successor, delivered, reads_buf, key_fingerprint)
+        def bulk_fingerprint(snapshot):
+            return {
+                key: (value[0] if value else None)
+                if key[1] == PRIMARY
+                else value
+                for key, value in snapshot.items()
+            }
+
+        return WalkSpec(
+            start, successor, delivered, reads_buf, key_fingerprint,
+            bulk_fingerprint,
+        )
 
     def classify(
         self,

@@ -8,7 +8,7 @@ outcome propagation over a functional graph: a walk is DELIVERED if it
 reaches the destination, BLACKHOLE if it reaches a state with no
 successor, and LOOP if it revisits a state.
 
-Two engines share the successor abstraction:
+Three engines share the successor abstraction:
 
 * :func:`classify_functional_graph` — per-source iterative walks with
   on-path cycle detection (cheap for one or two sources);
@@ -19,10 +19,17 @@ Two engines share the successor abstraction:
   with a pure-Python fallback).  Terminal states point at one of two
   absorbing sentinels; after ⌈log₂ n⌉ squarings every index has either
   been absorbed (DELIVERED / BLACKHOLE) or provably rides a cycle
-  (LOOP).
+  (LOOP);
+* plane-provided *successor tables* (see
+  :meth:`WalkClassifier._session_table` and STAMP's implementation in
+  :mod:`repro.forwarding.stamp_plane`) — planes whose walk-state space
+  projects onto flat integer arrays hand analysis sessions a table
+  that is updated per changed key and maintains per-state outcomes
+  incrementally, so replay engines receive exact per-source outcome
+  transitions without any per-source dependency bookkeeping.
 
-Dependency tracking (for incremental re-classification): rather than
-recording every snapshot read through a mapping wrapper — a
+Dependency tracking (for the closure-based incremental paths): rather
+than recording every snapshot read through a mapping wrapper — a
 Python-level call per read on the hottest path — each spec's closures
 append the keys they consult to :attr:`WalkSpec.reads_buf` inline (one
 C-level list append per read), and ``start`` returns its exact reads
@@ -31,7 +38,9 @@ fully determine a walk, so these exact read sets are sound dependency
 sets.  Specs additionally expose :attr:`WalkSpec.key_fingerprint`, the
 projection of a snapshot value onto what walks can observe of it (e.g.
 only a route's next hop): value changes with equal fingerprints cannot
-change any outcome and can be filtered before dependency lookup.
+change any outcome and can be filtered before dependency lookup (and,
+for table planes, before table maintenance — the tables store exactly
+the fingerprint projections).
 """
 
 from __future__ import annotations
@@ -94,7 +103,14 @@ class WalkSpec:
     spec, which those callers build per call).
     """
 
-    __slots__ = ("start", "successor", "delivered", "reads_buf", "key_fingerprint")
+    __slots__ = (
+        "start",
+        "successor",
+        "delivered",
+        "reads_buf",
+        "key_fingerprint",
+        "bulk_fingerprint",
+    )
 
     def __init__(
         self,
@@ -103,12 +119,17 @@ class WalkSpec:
         delivered: Delivered,
         reads_buf: List,
         key_fingerprint: KeyFingerprint,
+        bulk_fingerprint: Optional[Callable[[Dict], Dict]] = None,
     ) -> None:
         self.start = start
         self.successor = successor
         self.delivered = delivered
         self.reads_buf = reads_buf
         self.key_fingerprint = key_fingerprint
+        #: Optional whole-snapshot fingerprinting (one dict pass
+        #: instead of a ``key_fingerprint`` call per key); must agree
+        #: with ``key_fingerprint`` on every key.
+        self.bulk_fingerprint = bulk_fingerprint
 
 
 def classify_functional_graph(
@@ -182,11 +203,17 @@ def _walk_outcome(
 class BatchClassification:
     """Indexed functional graph with resolved outcomes.
 
-    Built by :func:`classify_functional_graph_batch`.  Holds the state
-    index, the integer successor list (``-2`` delivered / ``-1``
-    blackhole / else next index), the outcome per index, and — when
-    ``state_keys`` was supplied — the dependency keys of each state,
-    from which per-source dependency sets are derived.
+    Built by :func:`classify_functional_graph_batch` (or a plane's
+    vectorized successor-table builder, see
+    :meth:`WalkClassifier._batch_classify`).  Holds the state index,
+    the integer successor list (``-2`` delivered / ``-1`` blackhole /
+    else next index), the outcome per index, and — when ``state_keys``
+    was supplied — the dependency keys of each state, from which
+    per-source dependency sets are derived.
+
+    Subclasses with an arithmetic state layout (STAMP's color table)
+    override :meth:`_state_index` instead of materializing the index
+    dict.
     """
 
     __slots__ = ("index", "states", "succ", "outcomes", "reads", "_deps")
@@ -206,9 +233,13 @@ class BatchClassification:
         self.reads = reads
         self._deps: Dict[int, Set] = {}
 
+    def _state_index(self, state: Hashable) -> int:
+        """Index of one walk state (overridable for computed layouts)."""
+        return self.index[state]
+
     def outcome_of(self, state: Hashable) -> Outcome:
         """Resolved outcome of one indexed state."""
-        return self.outcomes[self.index[state]]
+        return self.outcomes[self._state_index(state)]
 
     def deps_of(self, state: Hashable) -> Set:
         """Union of dependency keys over states reachable from ``state``.
@@ -222,7 +253,7 @@ class BatchClassification:
         deps = self._deps
         succ = self.succ
         reads = self.reads
-        i = self.index[state]
+        i = i0 = self._state_index(state)
         if i in deps:
             return deps[i]
         path: List[int] = []
@@ -248,20 +279,19 @@ class BatchClassification:
         for j in reversed(path):
             acc = acc.union(reads[j])
             deps[j] = acc
-        return deps[self.index[state]]
+        return deps[i0]
 
 
-def _resolve_outcomes_numpy(succ: List[int]) -> List[Outcome]:
-    """Pointer-doubling resolution of the successor array."""
-    n = len(succ)
+def _resolve_outcome_array(arr, n: int) -> List[Outcome]:
+    """Pointer-doubling over a sentinel-extended successor array.
+
+    ``arr`` has length ``n + 2``: indices ``< n`` are walk states,
+    ``arr[n]`` / ``arr[n + 1]`` are the self-pointing DELIVERED and
+    BLACKHOLE absorbers.  After k squarings ``arr[i]`` is the 2^k-th
+    successor; any chain of length <= n+1 has been absorbed by a
+    sentinel, so survivors loop.
+    """
     deliv, bh = n, n + 1
-    arr = _np.empty(n + 2, dtype=_np.int64)
-    for i, s in enumerate(succ):
-        arr[i] = deliv if s == _DELIVERED_IDX else (bh if s == _BLACKHOLE_IDX else s)
-    arr[deliv] = deliv
-    arr[bh] = bh
-    # After k squarings arr[i] is the 2^k-th successor; any chain of
-    # length <= n+1 has been absorbed by a sentinel, so survivors loop.
     steps = max(1, (n + 2).bit_length())
     for _ in range(steps):
         arr = arr[arr]
@@ -271,6 +301,18 @@ def _resolve_outcomes_numpy(succ: List[int]) -> List[Outcome]:
     for i in _np.flatnonzero(arr[:n] == bh).tolist():
         out[i] = Outcome.BLACKHOLE
     return out
+
+
+def _resolve_outcomes_numpy(succ: List[int]) -> List[Outcome]:
+    """Pointer-doubling resolution of the successor list."""
+    n = len(succ)
+    deliv, bh = n, n + 1
+    arr = _np.empty(n + 2, dtype=_np.int64)
+    for i, s in enumerate(succ):
+        arr[i] = deliv if s == _DELIVERED_IDX else (bh if s == _BLACKHOLE_IDX else s)
+    arr[deliv] = deliv
+    arr[bh] = bh
+    return _resolve_outcome_array(arr, n)
 
 
 def _resolve_outcomes_python(succ: List[int]) -> List[Outcome]:
@@ -370,7 +412,16 @@ class AnalysisSession:
     so callers can skip index updates on identity.
     """
 
-    __slots__ = ("plane", "spec", "state", "failed_links", "failed_ases", "_prev")
+    __slots__ = (
+        "plane",
+        "spec",
+        "state",
+        "failed_links",
+        "failed_ases",
+        "_prev",
+        "table",
+        "_table_tried",
+    )
 
     def __init__(
         self, plane: "WalkClassifier", state: Dict, failed_links, failed_ases
@@ -382,6 +433,11 @@ class AnalysisSession:
         self.spec = plane._walk_spec(state, failed_links, failed_ases)
         #: Per-source (start reads, walk reads, dependency set).
         self._prev: Dict[Hashable, Tuple[Tuple, List, Set]] = {}
+        #: Plane-provided successor table (see ``note_changed``), built
+        #: lazily on the first batch-sized request so one-shot scalar
+        #: sessions never pay the extraction.
+        self.table = None
+        self._table_tried = False
 
     def rebind(self, state: Dict) -> None:
         """Rebuild the spec's closures over a different state mapping.
@@ -389,13 +445,37 @@ class AnalysisSession:
         No-op when ``state`` is the mapping already bound (callers may
         rebind defensively per scan); an actual switch is rare — at
         most twice per analysis (the replay dict, plus the detached
-        detection-instant copy) — so rebuilding the closures beats
-        paying an indirection on every snapshot read.
+        detection-instant copy) — and only ever to a mapping holding
+        equal values (the session table, if any, therefore stays
+        valid), so rebuilding the closures beats paying an indirection
+        on every snapshot read.
         """
         if state is self.state:
             return
         self.state = state
         self.spec = self.plane._walk_spec(state, self.failed_links, self.failed_ases)
+
+    def ensure_table(self):
+        """Build (once) and return this session's successor table.
+
+        Replay engines call this at a segment's first full scan; the
+        table extracts from the session's current state and is switched
+        to incremental outcome propagation (see
+        :meth:`repro.forwarding.stamp_plane._SuccessorTable
+        .activate_propagation`).  Returns ``None`` for planes without
+        table support (or snapshots the table cannot represent).
+        """
+        table = self.table
+        if table is None:
+            if self._table_tried:
+                return None
+            self._table_tried = True
+            table = self.table = self.plane._session_table(
+                self.state, self.failed_links, self.failed_ases
+            )
+        if table is not None and table.start_sid is None:
+            table.activate_propagation()
+        return table
 
     def classify_many(self, asns: Iterable) -> Dict[Hashable, Tuple[Outcome, set]]:
         """Classify sources, reporting each one's dependency keys.
@@ -403,14 +483,31 @@ class AnalysisSession:
         Returns ``{asn: (outcome, dependency keys)}``; the dependency
         set is a superset of the keys actually read (see module notes).
         Sources the plane refuses to classify (e.g. failed ASes) count
-        as BLACKHOLE.  Large requests switch to the batch engine.
+        as BLACKHOLE.  Large requests switch to the batch engine;
+        multi-source requests below the batch threshold share walk
+        suffixes through a per-instant position memo (see
+        :meth:`_classify_many_shared`).
         """
         asns = list(asns)
         spec = self.spec
         failed_ases = self.failed_ases
         results: Dict[Hashable, Tuple[Outcome, set]] = {}
+        table = self.table
+        if table is None and not self._table_tried and (
+            len(asns) >= self.plane.BATCH_THRESHOLD
+        ):
+            self._table_tried = True
+            table = self.table = self.plane._session_table(
+                self.state, self.failed_links, self.failed_ases
+            )
+        if table is not None:
+            if not table.broken:
+                return table.classify_many(asns, failed_ases)
+            self.table = None  # fall back to the closure paths for good
         if len(asns) >= self.plane.BATCH_THRESHOLD:
             return self._classify_many_batch(asns)
+        if len(asns) > 1:
+            return self._classify_many_shared(asns)
         start = spec.start
         successor = spec.successor
         delivered = spec.delivered
@@ -440,6 +537,176 @@ class AnalysisSession:
             results[asn] = (outcome, deps)
         return results
 
+    def classify_into(
+        self,
+        asns: List,
+        outcome_of: Dict,
+        deps_of: Dict,
+        dependents: Dict,
+    ) -> List[Tuple[Hashable, Outcome, Optional[Outcome]]]:
+        """Classify sources and merge into an incremental-scan index.
+
+        The fused form of :meth:`classify_many` for replay engines:
+        each source's dependency set is folded straight into the
+        caller's ``deps_of``/``dependents`` index (registering new
+        keys, unregistering dropped ones) and ``outcome_of`` is
+        updated in place.  Returns the outcome *transitions* —
+        ``(source, new outcome, previous outcome)`` for exactly the
+        sources whose outcome changed — which is all the interval
+        bookkeeping upstream needs.  Classification semantics are
+        identical to :meth:`classify_many` (same walks, same
+        dependency sets).
+        """
+        table = self.table
+        if table is None and not self._table_tried and (
+            len(asns) >= self.plane.BATCH_THRESHOLD
+        ):
+            self._table_tried = True
+            table = self.table = self.plane._session_table(
+                self.state, self.failed_links, self.failed_ases
+            )
+        transitions: List[Tuple[Hashable, Outcome, Optional[Outcome]]] = []
+        if table is not None and not table.broken:
+            failed_ases = self.failed_ases
+            if len(asns) == 1:
+                # The dominant replay case: one touched source, merged
+                # through the same loop below.
+                (asn,) = asns
+                items = ((asn, table.classify_one(asn, failed_ases)),)
+            elif len(asns) <= 3:
+                classify_one = table.classify_one
+                items = [
+                    (asn, classify_one(asn, failed_ases))
+                    for asn in asns
+                ]
+            else:
+                items = table.classify_many(asns, failed_ases).items()
+        else:
+            items = self.classify_many(asns).items()
+        outcome_of_get = outcome_of.get
+        deps_of_get = deps_of.get
+        dependents_get = dependents.get
+        for asn, (outcome, reads) in items:
+            old_reads = deps_of_get(asn)
+            if reads is not old_reads:
+                if old_reads is None:
+                    deps_of[asn] = reads
+                    for key in reads:
+                        sources = dependents_get(key)
+                        if sources is None:
+                            dependents[key] = {asn}
+                        else:
+                            sources.add(asn)
+                elif reads != old_reads:
+                    for key in old_reads:
+                        if key not in reads:
+                            dependents[key].discard(asn)
+                    for key in reads:
+                        if key not in old_reads:
+                            sources = dependents_get(key)
+                            if sources is None:
+                                dependents[key] = {asn}
+                            else:
+                                sources.add(asn)
+                    deps_of[asn] = reads
+            old = outcome_of_get(asn)
+            if outcome is not old:
+                outcome_of[asn] = outcome
+                transitions.append((asn, outcome, old))
+        return transitions
+
+    def _classify_many_shared(
+        self, asns: List
+    ) -> Dict[Hashable, Tuple[Outcome, set]]:
+        """Suffix-shared scalar classification of several sources.
+
+        One instant's sources frequently converge onto the same walk
+        suffix (they were all touched by the same changed key), so each
+        walk state is resolved at most once per call: a walk that
+        reaches a position already classified *at this instant* inherits
+        its outcome and dependency union instead of re-walking the
+        suffix.  Outcomes and dependency sets are identical to the
+        per-source walks — within one call the snapshot is fixed, so a
+        state's outcome and reachable read-set are well-defined values
+        independent of which source reached it first (the equivalence
+        tests pin this against the brute-force twins).
+        """
+        spec = self.spec
+        failed_ases = self.failed_ases
+        start = spec.start
+        successor = spec.successor
+        delivered = spec.delivered
+        reads_buf = spec.reads_buf
+        prev = self._prev
+        results: Dict[Hashable, Tuple[Outcome, set]] = {}
+        #: Per-instant position memos: outcome and dependency union of
+        #: every walk state resolved during this call.
+        outcome_memo: Dict[Hashable, Outcome] = {}
+        deps_memo: Dict[Hashable, set] = {}
+        for asn in asns:
+            if asn in failed_ases:
+                results[asn] = (Outcome.BLACKHOLE, set())
+                continue
+            start_state, immediate, start_reads = start(asn)
+            if start_state is None:
+                outcome = immediate if immediate is not None else Outcome.BLACKHOLE
+                results[asn] = (outcome, set(start_reads))
+                continue
+            #: Path of (state, reads-of-state) pairs walked this source.
+            path: List[Tuple[Hashable, Tuple]] = []
+            on_path: Dict[Hashable, int] = {}
+            state = start_state
+            acc: Optional[set] = None
+            while True:
+                outcome = outcome_memo.get(state)
+                if outcome is not None:
+                    acc = deps_memo[state]
+                    break
+                if delivered(state):
+                    outcome = Outcome.DELIVERED
+                    outcome_memo[state] = outcome
+                    acc = deps_memo[state] = set()
+                    break
+                if state in on_path:
+                    # Closed a new cycle: every cycle state reaches
+                    # exactly the cycle, so they share one outcome and
+                    # one dependency union.
+                    outcome = Outcome.LOOP
+                    cut = on_path[state]
+                    acc = set()
+                    for cycle_state, cycle_reads in path[cut:]:
+                        acc.update(cycle_reads)
+                    for cycle_state, _ in path[cut:]:
+                        outcome_memo[cycle_state] = outcome
+                        deps_memo[cycle_state] = acc
+                    del path[cut:]
+                    break
+                on_path[state] = len(path)
+                del reads_buf[:]
+                nxt = successor(state)
+                path.append((state, tuple(reads_buf)))
+                if nxt is None:
+                    outcome = Outcome.BLACKHOLE
+                    acc = set()
+                    break
+                state = nxt
+            # Back-propagate along the walked prefix, memoizing each
+            # position's suffix union for the instant's later sources.
+            for path_state, path_reads in reversed(path):
+                acc = acc.union(path_reads)
+                outcome_memo[path_state] = outcome
+                deps_memo[path_state] = acc
+            deps = acc.union(start_reads) if start_reads else acc
+            entry = prev.get(asn)
+            if entry is not None and entry[2] == deps:
+                # Equal dependency set: hand back the previous object so
+                # the caller's identity check can skip its index update.
+                deps = entry[2]
+            else:
+                prev[asn] = (start_reads, None, deps)
+            results[asn] = (outcome, deps)
+        return results
+
     def _classify_many_batch(self, asns: List) -> Dict[Hashable, Tuple[Outcome, set]]:
         spec = self.spec
         failed_ases = self.failed_ases
@@ -451,11 +718,13 @@ class AnalysisSession:
                 continue
             start_state, immediate, start_reads = spec.start(asn)
             start_info.append((asn, start_state, immediate, start_reads))
-        batch = classify_functional_graph_batch(
-            (s for _, s, _, _ in start_info if s is not None),
-            spec.successor,
-            spec.delivered,
-            reads_buf=spec.reads_buf,
+        batch = self.plane._batch_classify(
+            spec,
+            [s for _, s, _, _ in start_info if s is not None],
+            state=self.state,
+            failed_links=self.failed_links,
+            failed_ases=self.failed_ases,
+            need_reads=True,
         )
         for asn, start_state, immediate, start_reads in start_info:
             if start_state is None:
@@ -493,6 +762,50 @@ class WalkClassifier:
     ) -> WalkSpec:
         """Walk semantics for one snapshot (closures over ``state``)."""
         raise NotImplementedError
+
+    def _session_table(
+        self,
+        state: Dict,
+        failed_links: FrozenSet,
+        failed_ases: FrozenSet,
+    ):
+        """Incremental successor table for an analysis session, if any.
+
+        Planes whose walk-state space projects onto flat integer tables
+        (STAMP) return an object with ``broken``, ``update(key,
+        value)`` and ``classify_many(asns, failed_ases)``;
+        the default ``None`` keeps the closure engine.
+        """
+        del state, failed_links, failed_ases
+        return None
+
+    def _batch_classify(
+        self,
+        spec: WalkSpec,
+        starts: List[Hashable],
+        *,
+        state: Dict,
+        failed_links: FrozenSet,
+        failed_ases: FrozenSet,
+        need_reads: bool,
+    ) -> BatchClassification:
+        """Batch-classify walk states (overridable per plane).
+
+        The generic implementation indexes the states reachable from
+        ``starts`` through the spec's closures.  Planes whose successor
+        function projects onto per-AS arrays (STAMP's two-color table)
+        override this to build the full successor table vectorized —
+        the returned classification must agree with the generic one on
+        every requested start, including the per-state ``reads`` when
+        ``need_reads`` is set.
+        """
+        del state, failed_links, failed_ases
+        return classify_functional_graph_batch(
+            starts,
+            spec.successor,
+            spec.delivered,
+            reads_buf=spec.reads_buf if need_reads else None,
+        )
 
     def classify(
         self,
@@ -532,8 +845,13 @@ class WalkClassifier:
                 continue
             walk_starts.append((asn, start_state))
         if walk_starts:
-            batch = classify_functional_graph_batch(
-                (s for _, s in walk_starts), spec.successor, spec.delivered
+            batch = self._batch_classify(
+                spec,
+                [s for _, s in walk_starts],
+                state=state,
+                failed_links=failed_links,
+                failed_ases=failed_ases,
+                need_reads=False,
             )
             for asn, start_state in walk_starts:
                 outcomes[asn] = batch.outcome_of(start_state)

@@ -54,6 +54,10 @@ class ForwardingChange:
         )
 
 
+def _record_suspended(time, asn, key, state) -> None:
+    """No-op recorder installed by :meth:`ForwardingTrace.suspend`."""
+
+
 @dataclass
 class ForwardingTrace:
     """Ordered log of forwarding changes plus snapshot replay."""
@@ -61,12 +65,36 @@ class ForwardingTrace:
     changes: List[ForwardingChange] = field(default_factory=list)
 
     def record(self, time: float, asn: ASN, key: Hashable, state: Any) -> None:
-        """Append one change (times must be non-decreasing)."""
-        self.changes.append(ForwardingChange(time, asn, key, state))
+        """Append one change (times must be non-decreasing).
+
+        The ordering contract is enforced here so replay can consume
+        the log as-is instead of re-sorting it per analysis.
+        """
+        changes = self.changes
+        if changes and time < changes[-1].time:
+            raise ValueError(
+                f"forwarding change at {time} recorded after {changes[-1].time}"
+            )
+        changes.append(ForwardingChange(time, asn, key, state))
 
     def clear(self) -> None:
         """Drop all recorded changes (e.g. after initial convergence)."""
         self.changes.clear()
+
+    def suspend(self) -> None:
+        """Stop recording (e.g. during initial convergence).
+
+        Networks discard everything recorded before their start
+        completes (:meth:`clear`), so the changes need not be built in
+        the first place; recording is re-enabled with :meth:`resume`.
+        The per-instance method shadow keeps the enabled path free of
+        any flag check.
+        """
+        self.record = _record_suspended
+
+    def resume(self) -> None:
+        """Re-enable recording after :meth:`suspend`."""
+        self.__dict__.pop("record", None)
 
     def distinct_times(self) -> List[float]:
         """Sorted unique timestamps at which anything changed."""
@@ -96,19 +124,20 @@ class ForwardingTrace:
         always count as changed on first write.
         """
         state = dict(initial)
-        pending = sorted(
-            self.changes, key=lambda change: change.time
-        )
+        state_get = state.get
+        pending = self.changes  # ordered by construction (see record)
         index = 0
         total = len(pending)
+        absent = object()
         while index < total:
             time = pending[index].time
             changed: set = set()
+            changed_add = changed.add
             while index < total and pending[index].time == time:
                 change = pending[index]
                 key = (change.asn, change.key)
-                if key not in state or state[key] != change.state:
+                if state_get(key, absent) != change.state:
                     state[key] = change.state
-                    changed.add(key)
+                    changed_add(key)
                 index += 1
             yield time, state, changed

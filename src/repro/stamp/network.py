@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.bgp.network import NetworkConfig
-from repro.bgp.speaker import ProtocolStats, SpeakerConfig
+from repro.bgp.speaker import ProtocolStats
 from repro.errors import ConvergenceError, SimulationError
 from repro.sim.engine import Engine
 from repro.sim.tracing import ForwardingTrace
@@ -16,7 +16,7 @@ from repro.stamp.coloring import (
     IntelligentBlueSelector,
     RandomBlueSelector,
 )
-from repro.stamp.node import STAMPNode
+from repro.stamp.node import STAMPNode, build_speaker_configs
 from repro.topology.graph import ASGraph
 from repro.types import ASN, Color
 
@@ -63,7 +63,8 @@ class STAMPNetwork:
                 selector = RandomBlueSelector()
         self.selector = selector
 
-        speaker_config = SpeakerConfig(mrai=self.config.mrai)
+        # One immutable (red, blue) config pair serves every node.
+        speaker_configs = build_speaker_configs(self.config.mrai)
         self.nodes: Dict[ASN, STAMPNode] = {}
         for asn in graph.ases:
             node = STAMPNode(
@@ -71,7 +72,7 @@ class STAMPNetwork:
                 graph,
                 self.engine,
                 self.transport,
-                speaker_config=speaker_config,
+                speaker_configs=speaker_configs,
                 trace=self.trace,
                 stats=self.stats,
                 selector=self.selector,
@@ -88,9 +89,18 @@ class STAMPNetwork:
     # ------------------------------------------------------------------
 
     def start(self) -> float:
-        """Originate at the destination; run initial convergence."""
-        self.nodes[self.destination].originate()
-        self.run_to_convergence()
+        """Originate at the destination; run initial convergence.
+
+        Recording is suspended for the initial convergence — the trace
+        is cleared afterwards anyway (see
+        :meth:`repro.bgp.network.BGPNetwork.start`).
+        """
+        self.trace.suspend()
+        try:
+            self.nodes[self.destination].originate()
+            self.run_to_convergence()
+        finally:
+            self.trace.resume()
         self.trace.clear()
         return self.engine.now
 

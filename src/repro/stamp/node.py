@@ -28,15 +28,35 @@ from repro.bgp.speaker import BGPSpeaker, ProtocolStats, SpeakerConfig
 from repro.sim.engine import Engine
 from repro.sim.tracing import ForwardingTrace
 from repro.sim.transport import Transport
+from repro.sim.timers import MRAIConfig
 from repro.stamp.coloring import BlueProviderSelector, RandomBlueSelector
 from repro.topology.graph import ASGraph
-from repro.types import ASN, Color, EventType
+from repro.types import ASN, Color, EventType, Link, RELATIONSHIP_PREFERENCE
 
 from repro.forwarding.stamp_plane import unstable_key
 
 
+def build_speaker_configs(
+    mrai: MRAIConfig,
+) -> Tuple[SpeakerConfig, SpeakerConfig]:
+    """The (red, blue) speaker-config pair for one MRAI setting.
+
+    Every STAMP node of a network uses the same two immutable configs,
+    so the network builds this pair once and pools it across its nodes
+    (and the nodes' reboots) instead of allocating two per AS.
+    """
+    return (
+        SpeakerConfig(mrai=mrai, prefer_locked=False),
+        SpeakerConfig(mrai=mrai, prefer_locked=True),
+    )
+
+
 class STAMPNode:
     """The pair of red/blue processes of one AS, plus coordination."""
+
+    #: Class-level switch for the gate-signature refresh cache; the
+    #: equivalence test flips it off to pin cached == uncached traces.
+    _gate_sig_enabled = True
 
     def __init__(
         self,
@@ -51,6 +71,7 @@ class STAMPNode:
         selector: Optional[BlueProviderSelector] = None,
         permissive_blue: bool = False,
         recolor_delay: float = 0.15,
+        speaker_configs: Optional[Tuple[SpeakerConfig, SpeakerConfig]] = None,
     ) -> None:
         self.asn = asn
         self.graph = graph
@@ -73,19 +94,34 @@ class STAMPNode:
         self.recolor_delay = recolor_delay
         self.trace = trace
         #: Static relationship views (the graph topology never changes
-        #: during a simulation; failures are session events).
-        self._providers: Tuple[ASN, ...] = tuple(graph.providers(asn))
+        #: during a simulation; failures are session events).  The
+        #: graph's indexed views already hand out tuples, so they are
+        #: referenced, not copied.
+        self._providers: Tuple[ASN, ...] = graph.providers(asn)
         self._provider_set = frozenset(self._providers)
         self._customer_set = frozenset(graph.customers(asn))
         self._live_providers_cache: Optional[Tuple[int, List[ASN]]] = None
+        #: Per-color gate-input signature of the last provider refresh
+        #: that completed as a provable no-op (see _refresh_providers).
+        self._sig_red: Optional[tuple] = None
+        self._sig_blue: Optional[tuple] = None
         self.locked_blue_provider: Optional[ASN] = None
         self.unstable: Dict[Color, bool] = {Color.RED: False, Color.BLUE: False}
-        base_config = speaker_config or SpeakerConfig()
+        if speaker_configs is None:
+            base_config = speaker_config or SpeakerConfig()
+            speaker_configs = build_speaker_configs(base_config.mrai)
+        # Both color processes of one AS see identical per-neighbor
+        # preferences and relationships: derive the tables once and
+        # share the dicts (the network-level pool hands every node the
+        # same two SpeakerConfig instances the same way).
+        rel_table = graph.neighbor_relationships(asn)
+        pref_table = {
+            neighbor: RELATIONSHIP_PREFERENCE[rel]
+            for neighbor, rel in rel_table.items()
+        }
+        shared_tables = (pref_table, rel_table)
 
-        def make(color: Color, prefer_locked: bool) -> BGPSpeaker:
-            config = SpeakerConfig(
-                mrai=base_config.mrai, prefer_locked=prefer_locked
-            )
+        def make(color: Color, config: SpeakerConfig) -> BGPSpeaker:
             return BGPSpeaker(
                 asn,
                 graph,
@@ -99,16 +135,30 @@ class STAMPNode:
                 # Selective announcement only restricts the provider
                 # direction; customers and peers always get (True, False),
                 # so the speaker may batch-export to them gate-free.
-                gate_peers=graph.providers(asn),
-                on_best_change=lambda spk, old, new, et, c=color: self._on_change(
-                    c, old, new, et
+                # _provider_set is already a frozenset: no copy is made.
+                gate_peers=self._provider_set,
+                on_best_change=(
+                    lambda spk, old, new, et, rc, c=color: self._on_change(
+                        c, old, new, et, rc
+                    )
                 ),
+                shared_tables=shared_tables,
+                # _on_change refreshes every provider synchronously
+                # with the decision's exact (et, root cause) context,
+                # so the speaker's own fan-out skips its gate peers.
+                gate_refresh_delegated=True,
             )
 
         self.processes: Dict[Color, BGPSpeaker] = {
-            Color.RED: make(Color.RED, prefer_locked=False),
-            Color.BLUE: make(Color.BLUE, prefer_locked=True),
+            Color.RED: make(Color.RED, speaker_configs[0]),
+            Color.BLUE: make(Color.BLUE, speaker_configs[1]),
         }
+        #: The (red, blue) pair as a tuple for allocation-free iteration
+        #: on the refresh hot path.
+        self._procs: Tuple[BGPSpeaker, BGPSpeaker] = (
+            self.processes[Color.RED],
+            self.processes[Color.BLUE],
+        )
 
     @property
     def red(self) -> BGPSpeaker:
@@ -157,6 +207,7 @@ class STAMPNode:
         """
         self.locked_blue_provider = None
         self._live_providers_cache = None
+        self._sig_red = self._sig_blue = None
         for process in self.processes.values():
             process.reboot(peers)
         self.clear_instability()
@@ -247,41 +298,141 @@ class STAMPNode:
             return (False, False)
         return (True, False)
 
-    def _refresh_providers(self, et: EventType) -> None:
+    def _refresh_providers(
+        self,
+        et: EventType,
+        root_cause: Optional[Link] = None,
+        changing: Optional[BGPSpeaker] = None,
+    ) -> None:
         """Re-evaluate provider-direction exports of both processes.
 
         When a provider's session flips from one color to the other,
         the gaining color announces first and the losing color's
         withdrawal is deferred (`recolor_delay`), so downstream ASes
         never sit between the two sessions with no route at all.
+
+        Gate-signature caching: a refresh whose whole per-provider loop
+        was a provable no-op records that process's gate-input
+        signature — its best route, the live-provider set (via the
+        shared physical ``sessions_version``), the Lock obligation, the
+        locked target, and (permissive mode only) red exportability —
+        and a later refresh with an unchanged signature skips the
+        process entirely.  The elision is draw-order-neutral by
+        construction: a skip additionally requires that no gate call
+        could re-select the locked blue target (the target is live, or
+        blue holds no Lock, or the node is single-homed), since
+        re-selection is the one RNG draw on this path.  It is
+        export-neutral because the signature captures every gate input
+        while the recorded no-op run proved the advertised state
+        already matched the desired exports with nothing pending
+        behind MRAI (a pending context must keep merging event
+        contexts, so it blocks the certificate; a retained certificate
+        stays valid because with an equal signature the desired
+        exports are equal and the Adj-RIB-Out can only move *toward*
+        them).  The golden traces and the dedicated cache-on/off
+        equivalence test pin this.
         """
+        if not self._providers:
+            return  # tier-1 / destination-like: nothing to coordinate
+        red, blue = self._procs
+        skip_red = skip_blue = False
+        sig_red = sig_blue = None
+        certify = False
+        if self._gate_sig_enabled:
+            has_lock = self._blue_has_lock()
+            live = self._live_providers()
+            locked = self.locked_blue_provider
+            # Certify/skip only when no gate call can draw from the
+            # RNG: the locked target cannot change during this refresh.
+            if (
+                (locked is not None and locked in live)
+                or not has_lock
+                or len(live) <= 1
+            ):
+                certify = True
+                version = red.sessions_version
+                sig_red = (red.best, version, has_lock, locked, red.is_origin)
+                sig_blue = (
+                    blue.best,
+                    version,
+                    has_lock,
+                    locked,
+                    blue.is_origin,
+                    self._red_exportable_to_providers()
+                    if self.permissive_blue
+                    else None,
+                )
+                skip_red = sig_red == self._sig_red
+                skip_blue = sig_blue == self._sig_blue
+                if skip_red and skip_blue:
+                    return
+        noop_red = not skip_red
+        noop_blue = not skip_blue
+        recolor_delay = self.recolor_delay
         for provider in self._providers:
-            gains: List[Tuple[BGPSpeaker, object]] = []
-            losses: List[BGPSpeaker] = []
-            for process in self.processes.values():
+            gains: Optional[List[Tuple[BGPSpeaker, object]]] = None
+            losses: Optional[List[BGPSpeaker]] = None
+            for process in self._procs:
+                if skip_red if process is red else skip_blue:
+                    continue
                 advertising = process.is_advertising(provider)
                 desired = process.export_for(provider)
                 if desired is not None and not advertising:
+                    if gains is None:
+                        gains = []
                     gains.append((process, desired))
                 elif advertising and desired is None:
+                    if losses is None:
+                        losses = []
                     losses.append(process)
                 else:
                     # Same-color refresh (e.g. path change): immediate.
                     # The export was just evaluated; hand it through so
                     # the speaker does not re-run the gate.
-                    process.refresh_peer(provider, et=et, desired=desired)
-            for process, desired in gains:
-                process.refresh_peer(provider, et=et, desired=desired)
-            for process in losses:
-                if gains and self.recolor_delay > 0:
-                    # Deferred: state may shift before the timer fires,
-                    # so the late refresh re-evaluates from scratch.
-                    self.engine.schedule(
-                        self.recolor_delay,
-                        lambda p=provider, proc=process: proc.refresh_peer(p),
+                    if process.is_settled(provider, desired):
+                        continue  # provably nothing to do
+                    process.refresh_peer(
+                        provider, et=et, root_cause=root_cause, desired=desired
                     )
+                if process is red:
+                    noop_red = False
                 else:
-                    process.refresh_peer(provider, et=et, desired=None)
+                    noop_blue = False
+            if gains is not None:
+                for process, desired in gains:
+                    process.refresh_peer(
+                        provider, et=et, root_cause=root_cause, desired=desired
+                    )
+            if losses is not None:
+                for process in losses:
+                    if gains is not None and recolor_delay > 0:
+                        # Deferred: state may shift before the timer
+                        # fires, so the late refresh re-evaluates from
+                        # scratch.  A deferred loss of the *deciding*
+                        # process is additionally handed back to its
+                        # own export fan-out (which runs right after
+                        # this listener and would otherwise skip its
+                        # delegated gate peers): the speaker withdraws
+                        # in its usual sorted-session position, exactly
+                        # as the undelegated fan-out always has.
+                        self.engine.schedule(
+                            recolor_delay,
+                            lambda p=provider, proc=process: proc.refresh_peer(p),
+                        )
+                        if process is changing:
+                            process.gate_refresh_queue(provider)
+                    else:
+                        process.refresh_peer(
+                            provider, et=et, root_cause=root_cause, desired=None
+                        )
+        if certify:
+            # The signatures cannot have changed during the loop: the
+            # certifying branch excluded RNG re-selection, refreshes
+            # send asynchronously, and sessions are stable here.
+            if not skip_red:
+                self._sig_red = sig_red if noop_red else None
+            if not skip_blue:
+                self._sig_blue = sig_blue if noop_blue else None
 
     # ------------------------------------------------------------------
     # ET-driven instability tracking
@@ -293,11 +444,15 @@ class STAMPNode:
         old: Optional[Route],
         new: Optional[Route],
         et: EventType,
+        root_cause: Optional[Link] = None,
     ) -> None:
         self._set_unstable(color, et is EventType.LOSS)
         # Any best change may flip provider color assignments (red
-        # precedence / lock chain), so both processes re-check.
-        self._refresh_providers(et)
+        # precedence / lock chain), so both processes re-check — with
+        # the decision's exact event context, which lets the changing
+        # speaker's own export fan-out skip its (already refreshed)
+        # gate peers (``gate_refresh_delegated``).
+        self._refresh_providers(et, root_cause, changing=self.processes[color])
 
     def _set_unstable(self, color: Color, flag: bool) -> None:
         if self.unstable[color] == flag:

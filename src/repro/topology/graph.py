@@ -154,6 +154,16 @@ class ASGraph:
         except KeyError:
             raise UnknownLinkError(f"no link {a}-{b}") from None
 
+    def neighbor_relationships(self, asn: ASN) -> Dict[ASN, Relationship]:
+        """Fresh ``{neighbor: relationship}`` mapping of one AS.
+
+        One C-level dict copy of the adjacency row — the cheap way for
+        speakers to seed their per-neighbor tables eagerly instead of
+        one :meth:`relationship` call per neighbor.
+        """
+        self._require(asn)
+        return dict(self._nbr[asn])
+
     def _view(self, asn: ASN) -> _AdjView:
         view = self._views.get(asn)
         if view is None:

@@ -1,0 +1,312 @@
+"""Equivalence of the STAMP successor-table engine with the closures.
+
+The table path (flat integer successor tables, incremental outcome
+propagation, suffix-shared walks) replaces the closure engine on every
+analysis hot path, so these tests pin it to the closure semantics at
+three levels: raw walk classification (outcomes *and* dependency
+reads), incremental propagation against full re-classification under
+random update streams, and whole-analyzer equivalence with the
+brute-force reference twins across all three planes — including
+episode phase boundaries and restore-induced outcome flips.  The
+gate-signature refresh cache is pinned by running identical scenarios
+with the cache on and off.
+"""
+
+import random
+
+import pytest
+
+import repro.forwarding.stamp_plane as stamp_plane
+import repro.forwarding.walk as walk
+from repro.analysis.transient import (
+    EpisodeSegment,
+    _reference_analyze_episode_transient_problems,
+    _reference_analyze_transient_problems,
+    analyze_episode_transient_problems,
+    analyze_transient_problems,
+)
+from repro.experiments.runner import build_network, run_scenario
+from repro.experiments.scenarios import (
+    Scenario,
+    link_flap_episode,
+    single_provider_link_failure,
+    staggered_maintenance_episode,
+)
+from repro.forwarding.stamp_plane import STAMPDataPlane, _SuccessorTable
+from repro.stamp.node import STAMPNode
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.types import Color, Outcome, normalize_link
+
+
+def _random_topology(seed: int):
+    config = InternetTopologyConfig(
+        seed=seed, n_tier1=3, n_tier2=8, n_tier3=16, n_stub=30
+    )
+    graph, _ = generate_internet_topology(config)
+    return graph
+
+
+def _random_stamp_state(rng, n=14, destination=1):
+    """A fuzzed STAMP snapshot over ASes 1..n (arbitrary routes/flags)."""
+    ases = list(range(1, n + 1))
+    state = {}
+    for asn in ases:
+        for color in (Color.RED, Color.BLUE):
+            if rng.random() < 0.2:
+                path = None
+            else:
+                hops = rng.sample([a for a in ases if a != asn], rng.randint(1, 3))
+                path = tuple(hops)
+            state[(asn, color)] = path
+            state[(asn, stamp_plane.unstable_key(color))] = rng.random() < 0.3
+    return ases, state
+
+
+def _closure_results(plane, state, ases, failed_links, failed_ases):
+    return plane.classify_many_recording(
+        state, ases, failed_links=failed_links, failed_ases=failed_ases
+    )
+
+
+class TestTableWalkEquivalence:
+    """Raw table walks match the closure engine, reads included."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_snapshots(self, seed):
+        rng = random.Random(f"table:{seed}")
+        ases, state = _random_stamp_state(rng)
+        plane = STAMPDataPlane(destination=1)
+        failed_links = (
+            frozenset({normalize_link(*rng.sample(ases, 2))})
+            if seed % 2
+            else frozenset()
+        )
+        failed_ases = frozenset({ases[-1]}) if seed % 3 == 0 else frozenset()
+        table = _SuccessorTable(plane, state, failed_links, failed_ases)
+        assert not table.broken
+        expected = _closure_results(plane, state, ases, failed_links, failed_ases)
+        got_many = table.classify_many(list(ases), failed_ases)
+        for asn in ases:
+            exp_out, exp_deps = expected[asn]
+            one_out, one_deps = table.classify_one(asn, failed_ases)
+            assert one_out is exp_out, asn
+            assert set(one_deps) == set(exp_deps), asn
+            many_out, many_deps = got_many[asn]
+            assert many_out is exp_out, asn
+            assert set(many_deps) == set(exp_deps), asn
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_batch_classification_matches_classify(self, seed):
+        rng = random.Random(f"batch:{seed}")
+        ases, state = _random_stamp_state(rng)
+        plane = STAMPDataPlane(destination=1)
+        expected = plane.classify(state, ases)
+        got = plane.classify_batch(state, ases)
+        assert got == expected
+
+    def test_out_of_universe_hop_falls_back(self):
+        """A next hop outside the snapshot breaks the table, not results."""
+        rng = random.Random("broken")
+        ases, state = _random_stamp_state(rng)
+        state[(3, Color.RED)] = (999,)  # hop with no state entries
+        plane = STAMPDataPlane(destination=1)
+        table = _SuccessorTable(plane, state, frozenset(), frozenset())
+        assert table.broken
+        assert plane._session_table(state, frozenset(), frozenset()) is None
+        # classify_batch silently uses the closure engine.
+        assert plane.classify_batch(state, ases) == plane.classify(state, ases)
+
+
+class TestIncrementalPropagation:
+    """Propagation-mode tables track full re-classification exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_update_streams(self, seed):
+        rng = random.Random(f"prop:{seed}")
+        ases, state = _random_stamp_state(rng)
+        plane = STAMPDataPlane(destination=1)
+        table = _SuccessorTable(plane, state, frozenset(), frozenset())
+        table.activate_propagation()
+        outcomes = table.source_outcomes(ases)
+        assert outcomes == plane.classify_batch(state, ases)
+        for _ in range(40):
+            # Mutate 1-3 keys, feed the table, and compare against a
+            # from-scratch classification of the evolved snapshot.
+            for _ in range(rng.randint(1, 3)):
+                asn = rng.choice(ases)
+                if rng.random() < 0.5:
+                    key = (asn, rng.choice((Color.RED, Color.BLUE)))
+                    if rng.random() < 0.3:
+                        value = None
+                    else:
+                        hops = rng.sample(
+                            [a for a in ases if a != asn], rng.randint(1, 3)
+                        )
+                        value = tuple(hops)
+                else:
+                    key = (
+                        asn,
+                        stamp_plane.unstable_key(
+                            rng.choice((Color.RED, Color.BLUE))
+                        ),
+                    )
+                    value = rng.random() < 0.5
+                state[key] = value
+                table.update(key, value)
+            transitions = table.collect_transitions()
+            fresh = plane.classify_batch(state, ases)
+            # Transitions report exactly the sources whose fate changed.
+            changed = {asn for asn, _ in transitions}
+            for asn, new in transitions:
+                assert fresh[asn] is new
+            for asn in ases:
+                if outcomes[asn] is not fresh[asn]:
+                    assert asn in changed, asn
+            outcomes = fresh
+            assert table.source_outcomes(ases) == fresh
+
+
+class TestAnalyzerEquivalence:
+    """Analyzer-level equivalence with the brute-force twins."""
+
+    @pytest.mark.parametrize("protocol", ("bgp", "rbgp", "rbgp-norci", "stamp"))
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_restore_flip_scenarios(self, protocol, seed):
+        """A restore changes outcomes with zero trace changes up front."""
+        graph = _random_topology(seed)
+        rng = random.Random(f"restore:{seed}")
+        base = single_provider_link_failure(graph, rng)
+        scenario = Scenario(
+            destination=base.destination,
+            failed_links=base.failed_links,
+            restored_links=((base.destination, graph.providers(base.destination)[0]),)
+            if graph.providers(base.destination)
+            else (),
+        )
+        network, plane = build_network(protocol, graph, scenario.destination, seed=seed)
+        for a, b in scenario.restored_links:
+            network.transport.fail_link(a, b)
+        network.start()
+        initial_state = network.forwarding_state()
+        for a, b in scenario.failed_links:
+            network.fail_link(a, b)
+        for a, b in scenario.restored_links:
+            network.restore_link(a, b)
+        network.run_to_convergence()
+        failed_links = frozenset(
+            normalize_link(a, b) for a, b in scenario.failed_links
+        )
+        kwargs = dict(failed_links=failed_links)
+        incremental = analyze_transient_problems(
+            network.trace, initial_state, plane, graph.ases, **kwargs
+        )
+        reference = _reference_analyze_transient_problems(
+            network.trace, initial_state, plane, graph.ases, **kwargs
+        )
+        assert incremental.eligible == reference.eligible
+        assert incremental.affected == reference.affected
+        assert incremental.looped == reference.looped
+        assert incremental.blackholed == reference.blackholed
+        assert (
+            incremental.permanently_unreachable
+            == reference.permanently_unreachable
+        )
+        assert incremental.timeline == reference.timeline
+        assert incremental.problem_timeline == reference.problem_timeline
+
+    @pytest.mark.parametrize("protocol", ("bgp", "rbgp", "stamp"))
+    @pytest.mark.parametrize(
+        "builder, kwargs",
+        [
+            (link_flap_episode, {"period": 30.0, "flaps": 2}),
+            (staggered_maintenance_episode, {"window": 40.0, "gap": 15.0}),
+        ],
+    )
+    @pytest.mark.parametrize("seed", (2, 7))
+    def test_episode_boundaries_on_random_topologies(
+        self, protocol, builder, kwargs, seed
+    ):
+        """Phase-boundary rescans match the reference across planes."""
+        from repro.experiments import runner as runner_mod
+
+        graph = _random_topology(seed + 20)
+        episode = builder(graph, random.Random(f"ep:{seed}"), **kwargs)
+        network, plane, _ = runner_mod._acquire_started_network(
+            graph, episode.destination, protocol, seed, None,
+            episode.pre_failed_links,
+        )
+        segments, _ = runner_mod.collect_episode_segments(network, episode)
+        incremental = analyze_episode_transient_problems(
+            segments, plane, graph.ases
+        )
+        reference = _reference_analyze_episode_transient_problems(
+            segments, plane, graph.ases
+        )
+        for got, want in [(incremental.overall, reference.overall)] + list(
+            zip(incremental.phases, reference.phases)
+        ):
+            assert got.eligible == want.eligible
+            assert got.affected == want.affected
+            assert got.permanently_unreachable == want.permanently_unreachable
+            assert got.timeline == want.timeline
+            assert got.problem_timeline == want.problem_timeline
+
+    @pytest.mark.parametrize("seed", (4,))
+    def test_without_numpy_matches_reference(self, seed, monkeypatch):
+        """The pure-Python table path agrees with the reference too."""
+        monkeypatch.setattr(walk, "_np", None)
+        monkeypatch.setattr(stamp_plane, "_np", None)
+        graph = _random_topology(seed)
+        scenario = single_provider_link_failure(graph, random.Random("np"))
+        network, plane = build_network("stamp", graph, scenario.destination, seed=seed)
+        network.start()
+        initial_state = network.forwarding_state()
+        for a, b in scenario.failed_links:
+            network.fail_link(a, b)
+        network.run_to_convergence()
+        failed_links = frozenset(
+            normalize_link(a, b) for a, b in scenario.failed_links
+        )
+        incremental = analyze_transient_problems(
+            network.trace, initial_state, plane, graph.ases,
+            failed_links=failed_links,
+        )
+        reference = _reference_analyze_transient_problems(
+            network.trace, initial_state, plane, graph.ases,
+            failed_links=failed_links,
+        )
+        assert incremental.affected == reference.affected
+        assert incremental.problem_timeline == reference.problem_timeline
+
+
+class TestGateSignatureCache:
+    """The refresh-elision cache is invisible in every observable."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_traces_identical_with_and_without_cache(self, seed):
+        graph = _random_topology(seed + 40)
+        scenario = single_provider_link_failure(
+            graph, random.Random(f"gate:{seed}")
+        )
+
+        def run(enabled):
+            STAMPNode._gate_sig_enabled = enabled
+            try:
+                result = run_scenario(graph, scenario, "stamp", seed=seed)
+            finally:
+                STAMPNode._gate_sig_enabled = True
+            return (
+                result.affected,
+                result.announcements,
+                result.withdrawals,
+                result.convergence_time,
+                result.report.timeline,
+                result.report.problem_timeline,
+                sorted(result.report.affected),
+                sorted(result.report.permanently_unreachable),
+            )
+
+        assert run(True) == run(False)
