@@ -26,6 +26,7 @@ import json
 import os
 import random
 import sys
+import tempfile
 import time
 from multiprocessing import cpu_count
 from pathlib import Path
@@ -39,6 +40,8 @@ from repro.analysis.transient import (
 )
 from repro.bgp.decision import best_route
 from repro.experiments.figures import fig2_single_link_failure
+from repro.experiments.ledger import ResultLedger
+from repro.experiments.parallel import ParallelRunner
 from repro.experiments.runner import (
     ExperimentConfig,
     build_network,
@@ -369,6 +372,79 @@ def test_stamp_provider_refresh(benchmark, graph, perf_records):
     assert result == len(nodes)
     _record(
         perf_records, "stamp_provider_refresh", benchmark, nodes=len(nodes)
+    )
+
+
+# ----------------------------------------------------------------------
+# Layer 4 — robustness (result ledger / resumable campaigns)
+# ----------------------------------------------------------------------
+
+
+def test_ledger_lookup(benchmark, perf_records, tmp_path):
+    """Hit-path cost of the crash-safe result ledger.
+
+    The resume fast path is ``key in ledger`` + ``get`` per unit; this
+    measures both over every key of a populated ledger (O(1) dict hits
+    plus payload unpickling) — the per-unit overhead a fully ledgered
+    campaign pays instead of simulating.
+    """
+    RECORDS = 512
+    ledger = ResultLedger(tmp_path / "bench-ledger.jsonl")
+    keys = [f"{i:064x}" for i in range(RECORDS)]
+    for i, key in enumerate(keys):
+        ledger.put(key, {"affected": i, "updates": i * 3, "tag": "bench"})
+
+    def run():
+        total = 0
+        for key in keys:
+            if key in ledger:
+                total += ledger.get(key)["affected"]
+        return total
+
+    result = benchmark(run)
+    assert result == sum(range(RECORDS))
+    ledger.close()
+    _record(perf_records, "ledger_lookup", benchmark, records=RECORDS)
+
+
+def test_campaign_resume(benchmark, perf_records, graph):
+    """A fully ledgered campaign rerun: resume overhead, zero compute.
+
+    First populates a ledger with a complete (instance, protocol) grid,
+    then benchmarks rerunning the identical campaign against it — graph
+    content hashing, per-unit key derivation, ledger load/verify, and
+    the canonical merge, with every unit answered from disk.  This is
+    the fixed cost a restarted sweep pays before recomputing anything.
+    """
+    instances = _instances()
+    protocols = ("bgp", "stamp")
+    with tempfile.TemporaryDirectory() as tmp:
+        runner = ParallelRunner(
+            workers=1, ledger_path=Path(tmp) / "ledger.jsonl"
+        )
+
+        def campaign():
+            return runner.run_failure_comparison(
+                single_provider_link_failure,
+                "fig2-single-link",
+                0,
+                instances,
+                protocols,
+                graph,
+            )
+
+        first = campaign()
+        assert first.complete and first.executed == instances * len(protocols)
+
+        outcome = benchmark(campaign)
+        assert outcome.executed == 0
+        assert outcome.ledger_hits == instances * len(protocols)
+    _record(
+        perf_records,
+        "campaign_resume",
+        benchmark,
+        instances=instances,
+        ases=len(graph.ases),
     )
 
 

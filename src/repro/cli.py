@@ -32,7 +32,12 @@ from repro.experiments.figures import (
     sec63_message_overhead,
     sec63_partial_deployment,
 )
-from repro.experiments.reporting import ascii_bar_chart, cdf_sparkline, format_table
+from repro.experiments.reporting import (
+    ascii_bar_chart,
+    cdf_sparkline,
+    format_failure_report,
+    format_table,
+)
 from repro.experiments.runner import ExperimentConfig, PROTOCOL_LABELS
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 from repro.topology.serialization import save_graph
@@ -51,6 +56,9 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         topology=topology,
         n_instances=args.instances,
         workers=args.workers,
+        retries=args.retries,
+        unit_timeout=args.unit_timeout,
+        ledger_path=args.ledger,
     )
 
 
@@ -59,6 +67,10 @@ def _print_failure(title: str, data) -> None:
         PROTOCOL_LABELS[p]: v for p, v in data.mean_affected().items()
     }
     print(ascii_bar_chart(measured, title=title, unit=" ASes"))
+    report = format_failure_report(getattr(data, "failures", ()))
+    if report:
+        print()
+        print(report)
 
 
 def cmd_fig1(args) -> int:
@@ -211,6 +223,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the (instance, protocol) fan-out; "
              "results are identical for any worker count",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts after a unit's first failure (crashed or "
+             "hung simulations are retried, then reported; default 1)",
+    )
+    parser.add_argument(
+        "--unit-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock limit; a hung unit is killed, "
+             "retried, and reported if it keeps hanging (default: none)",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="crash-safe result ledger: completed units are persisted "
+             "as they finish and never recomputed, so an interrupted "
+             "campaign restarted with the same ledger resumes where it "
+             "left off (see docs/robustness.md)",
     )
     parser.add_argument("--tier1", type=int, default=8, help="tier-1 ASes")
     parser.add_argument("--tier2", type=int, default=48, help="tier-2 ASes")

@@ -8,6 +8,7 @@ paper-vs-measured comparison; EXPERIMENTS.md records the outcomes.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import random
 import statistics
@@ -25,6 +26,7 @@ from repro.analysis.phi import (
     phi_with_intelligent_selection,
 )
 from repro.experiments.parallel import ParallelRunner
+from repro.experiments.supervisor import UnitFailure
 from repro.experiments.runner import (
     ExperimentConfig,
     PROTOCOLS,
@@ -89,10 +91,18 @@ def fig1_phi_cdf(
 
 @dataclass
 class FailureFigureData:
-    """Mean affected-AS counts per protocol for one failure class."""
+    """Mean affected-AS counts per protocol for one failure class.
+
+    ``failures`` is the campaign's structured failure report: units
+    that exhausted every supervised retry.  A failed unit is omitted
+    from its protocol's ``runs`` list (the aggregates below simply see
+    one fewer sample) — a failure-free campaign is byte-identical to
+    the pre-supervision output.
+    """
 
     scenario_kind: str
     runs: Dict[str, List[ProtocolRun]] = field(default_factory=dict)
+    failures: List[UnitFailure] = field(default_factory=list)
 
     def mean_affected(self) -> Dict[str, float]:
         """Protocol -> mean number of affected ASes (the bar heights)."""
@@ -144,19 +154,29 @@ def _failure_comparison(
     """Run one failure figure's (instance, protocol) grid.
 
     Delegates to :class:`ParallelRunner`: ``config.workers`` processes
-    fan out the independent simulations, and any worker count yields
-    byte-identical statistics (results are merged in canonical order
-    and every unit re-derives its seeds from the deterministic
+    fan out the independent simulations under the supervised pool
+    (per-unit retry/timeout, structured failure reporting, optional
+    result ledger), and any worker count yields byte-identical
+    statistics (results are merged in canonical order and every unit
+    re-derives its seeds from the deterministic
     ``f"{seed}:{kind}:{instance}"`` scheme).
     """
     config = config or ExperimentConfig()
     if graph is None:
         graph, _ = generate_internet_topology(config.topology)
-    runner = ParallelRunner(workers=config.workers)
-    runs = runner.run_failure_comparison(
+    runner = ParallelRunner(
+        workers=config.workers,
+        max_attempts=config.retries + 1,
+        unit_timeout=config.unit_timeout,
+        backoff_base=config.retry_backoff,
+        ledger_path=config.ledger_path,
+    )
+    outcome = runner.run_failure_comparison(
         builder, kind, config.seed, config.n_instances, config.protocols, graph
     )
-    return FailureFigureData(scenario_kind=kind, runs=runs)
+    return FailureFigureData(
+        scenario_kind=kind, runs=outcome.runs, failures=outcome.failures
+    )
 
 
 def fig2_single_link_failure(
@@ -262,7 +282,11 @@ def episode_campaign(
     byte-identical statistics (the campaign golden test pins this).
     """
     data = _failure_comparison(builder, kind, config, graph)
-    return EpisodeCampaignData(scenario_kind=data.scenario_kind, runs=data.runs)
+    return EpisodeCampaignData(
+        scenario_kind=data.scenario_kind,
+        runs=data.runs,
+        failures=data.failures,
+    )
 
 
 def link_flap_comparison(
@@ -379,13 +403,7 @@ def sec63_message_overhead(
 ) -> OverheadData:
     """Section 6.3: two processes cost less than 2x the updates."""
     config = config or ExperimentConfig()
-    restricted = ExperimentConfig(
-        seed=config.seed,
-        topology=config.topology,
-        n_instances=config.n_instances,
-        protocols=("bgp", "stamp"),
-        workers=config.workers,
-    )
+    restricted = dataclasses.replace(config, protocols=("bgp", "stamp"))
     data = _failure_comparison(
         single_provider_link_failure, "sec63-overhead", restricted, graph
     )
@@ -422,13 +440,7 @@ def sec63_convergence_delay(
 ) -> ConvergenceDelayData:
     """Section 6.3: STAMP converges no slower than BGP (data plane)."""
     config = config or ExperimentConfig()
-    restricted = ExperimentConfig(
-        seed=config.seed,
-        topology=config.topology,
-        n_instances=config.n_instances,
-        protocols=("bgp", "stamp"),
-        workers=config.workers,
-    )
+    restricted = dataclasses.replace(config, protocols=("bgp", "stamp"))
     data = _failure_comparison(
         single_provider_link_failure, "sec63-delay", restricted, graph
     )

@@ -1,0 +1,251 @@
+"""Crash-safe, content-addressed result ledger (append-only JSONL).
+
+The ledger maps a unit key (:func:`repro.experiments.canonical
+.unit_key`) to that unit's pickled result.  It is the persistence
+layer behind resumable campaigns: a sweep writes every completed unit
+as it finishes, so an interruption — crash, OOM kill, ctrl-C — loses
+at most the units that were in flight, and a restart with the same
+ledger recomputes only what is missing.
+
+Format: one JSON object per line, ``\\n``-terminated::
+
+    {"v": 1, "key": "<64 hex>", "payload": "<base64 pickle>",
+     "psha": "<sha256 hex of the pickle bytes>"}
+
+Durability and recovery rules:
+
+* **Appends are atomic-enough and fsynced.**  Each record is written
+  with a single ``os.write`` to an ``O_APPEND`` descriptor and then
+  ``fsync``ed, so concurrent writers (two campaign processes sharing a
+  ledger) do not interleave records, and a completed append survives
+  power loss.
+* **Torn trailing records never crash a load.**  A crash mid-append
+  leaves a final partial line; :meth:`ResultLedger.load` detects it
+  (JSON parse failure, missing fields, or payload-digest mismatch),
+  logs a warning, and skips it.  Corrupt *interior* records — bit rot,
+  a torn record that a later append happened to follow — are likewise
+  skipped with a warning: a ledger miss recomputes, a crash loses the
+  whole campaign.
+* **Duplicate keys: last write wins.**  Units are pure, so duplicates
+  normally carry equal payloads; after a salt-less code change the
+  most recent run is the one to trust, and compaction keeps it.
+* **Compaction is atomic.**  :meth:`ResultLedger.compact` rewrites the
+  live records to a temporary file in the same directory, fsyncs, and
+  ``os.replace``s it over the ledger — readers see the old or the new
+  file, never a partial one.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import logging
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.experiments.canonical import sha256_hex
+
+logger = logging.getLogger("repro.experiments.ledger")
+
+#: Record format version; bump on incompatible record-shape changes.
+_RECORD_VERSION = 1
+
+
+class ResultLedger:
+    """Append-only JSONL store of pickled unit results, keyed by hash.
+
+    Loading reads and validates every record once; lookups
+    (:meth:`__contains__`, :meth:`get`) are O(1) dictionary hits
+    afterwards.  :meth:`put` appends crash-safely and updates the
+    in-memory index, so a live campaign never re-reads the file.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        #: key -> raw pickle bytes of the most recent record (last wins).
+        self._records: Dict[str, bytes] = {}
+        #: Records dropped by the last load (torn/corrupt).
+        self.dropped_records = 0
+        self._fd: Optional[int] = None
+        self.load()
+
+    # -- loading -------------------------------------------------------
+
+    def load(self) -> None:
+        """(Re)build the index from disk, skipping torn/corrupt records."""
+        self._records.clear()
+        self.dropped_records = 0
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data:
+            return
+        lines = data.split(b"\n")
+        # A well-formed ledger ends with a newline, so the final split
+        # element is empty; anything else is a torn trailing record.
+        for lineno, line in enumerate(lines, start=1):
+            if not line:
+                continue
+            record = self._parse_record(line, lineno, torn=(lineno == len(lines)))
+            if record is not None:
+                key, payload = record
+                self._records[key] = payload
+
+    def _parse_record(self, line, lineno, torn):
+        """Validate one line; return ``(key, payload)`` or ``None``."""
+        where = "torn trailing" if torn else "corrupt"
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            logger.warning(
+                "%s: skipping %s record at line %d (unparseable JSON)",
+                self.path, where, lineno,
+            )
+            self.dropped_records += 1
+            return None
+        if (
+            not isinstance(obj, dict)
+            or obj.get("v") != _RECORD_VERSION
+            or not isinstance(obj.get("key"), str)
+            or not isinstance(obj.get("payload"), str)
+            or not isinstance(obj.get("psha"), str)
+        ):
+            logger.warning(
+                "%s: skipping %s record at line %d (missing/invalid fields)",
+                self.path, where, lineno,
+            )
+            self.dropped_records += 1
+            return None
+        try:
+            payload = base64.b64decode(obj["payload"], validate=True)
+        except (binascii.Error, ValueError):
+            logger.warning(
+                "%s: skipping %s record at line %d (invalid base64 payload)",
+                self.path, where, lineno,
+            )
+            self.dropped_records += 1
+            return None
+        if sha256_hex(payload) != obj["psha"]:
+            logger.warning(
+                "%s: skipping %s record at line %d (payload digest mismatch)",
+                self.path, where, lineno,
+            )
+            self.dropped_records += 1
+            return None
+        return obj["key"], payload
+
+    # -- lookups -------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def get(self, key: str) -> Any:
+        """Unpickle and return the result stored under ``key``."""
+        return pickle.loads(self._records[key])
+
+    # -- appends -------------------------------------------------------
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            self._seal_torn_tail(self._fd)
+        return self._fd
+
+    def _seal_torn_tail(self, fd: int) -> None:
+        """Terminate a torn trailing record before the first append.
+
+        A crash mid-append leaves the file ending without a newline;
+        appending straight after it would glue the new record onto the
+        torn fragment — losing *both* on the next load.  Writing one
+        ``\\n`` turns the fragment into a lone corrupt line (skipped
+        with a warning) and keeps every later append intact.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                last = handle.read(1)
+        except OSError:
+            return
+        if last != b"\n":
+            os.write(fd, b"\n")
+            os.fsync(fd)
+
+    @staticmethod
+    def encode_record(key: str, payload: bytes) -> bytes:
+        """One complete JSONL record (newline-terminated) for ``key``."""
+        obj = {
+            "v": _RECORD_VERSION,
+            "key": key,
+            "payload": base64.b64encode(payload).decode("ascii"),
+            "psha": sha256_hex(payload),
+        }
+        return (json.dumps(obj, sort_keys=True) + "\n").encode("ascii")
+
+    def put(self, key: str, value: Any) -> None:
+        """Append one result crash-safely and index it (last wins).
+
+        The record is written with one ``os.write`` on an ``O_APPEND``
+        descriptor and fsynced before :meth:`put` returns — once it
+        returns, the result survives a crash, and concurrent writers
+        never interleave within a record.
+        """
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        line = self.encode_record(key, payload)
+        fd = self._ensure_fd()
+        os.write(fd, line)
+        os.fsync(fd)
+        self._records[key] = payload
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "ResultLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> None:
+        """Atomically rewrite the ledger to its deduplicated live records.
+
+        Drops superseded duplicates and any torn/corrupt lines.  The
+        replacement is written to a temporary sibling, fsynced, and
+        ``os.replace``d over the ledger, then the directory entry is
+        fsynced — a crash at any instant leaves either the old or the
+        new complete file.
+        """
+        self.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            for key, payload in self._records.items():
+                os.write(fd, self.encode_record(key, payload))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self.dropped_records = 0

@@ -1,9 +1,9 @@
-"""Parallel experiment execution: multiprocessing fan-out of runs.
+"""Parallel experiment execution: supervised fan-out of work units.
 
 A figure experiment is a grid of independent ``(instance, protocol)``
 simulations over one shared topology — embarrassingly parallel.  The
-:class:`ParallelRunner` fans that grid out over a ``multiprocessing``
-pool:
+:class:`ParallelRunner` fans that grid out over the *supervised worker
+pool* of :mod:`repro.experiments.supervisor`:
 
 * the topology is generated once and shipped to each worker via the
   compact binary round trip (:func:`repro.topology.serialization
@@ -12,153 +12,157 @@ pool:
 * each work unit re-derives its scenario RNG and simulation seed from
   the same deterministic ``f"{seed}:{kind}:{instance}"`` scheme the
   sequential path uses — a unit's result does not depend on which
-  process runs it;
+  process runs it, how often it was retried, or where it ran;
 * results are merged in canonical ``(instance, protocol)`` order, so
   parallel output is byte-identical to sequential output (pinned by
   ``tests/experiments/test_parallel_runner.py`` and the golden
-  determinism test).
+  determinism test);
+* a unit that raises, hangs past ``unit_timeout``, or takes its worker
+  down with it is retried with exponential backoff and, if it keeps
+  failing, reported as a structured
+  :class:`~repro.experiments.supervisor.UnitFailure` — the rest of the
+  campaign completes and is returned.
 
-``workers <= 1`` runs the identical unit loop in-process; the pool is
-also skipped for single-unit grids, and environments that cannot spawn
-processes fall back to the in-process loop.
+``workers <= 1`` runs the identical unit loop in-process (with the
+same retry accounting); the pool is also skipped for single-unit
+grids, and environments that cannot spawn processes degrade to the
+in-process loop with a logged warning.
 
-Units run with the cyclic garbage collector paused
-(:func:`_cyclic_gc_paused`): simulations allocate heavily but every
-network breaks its own reference cycles on ``dispose()``, so pausing
-trades no memory for a double-digit-percentage speedup.  Neither the
-pool fan-out nor the GC pause can affect results — each unit is a
-pure function of ``(graph, seed, kind, instance, protocol)`` and the
-merge is canonical, so any configuration is byte-identical to the
-sequential, collector-enabled run (golden-test pinned).
+With ``ledger_path`` set, every completed unit is appended to a
+crash-safe :class:`~repro.experiments.ledger.ResultLedger` keyed by
+its canonical input hash, and units already present are answered from
+disk — interrupted or overlapping sweeps recompute only never-seen
+units (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
-import contextlib
-import gc
-import multiprocessing
-import random
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.experiments.runner import (
-    ProtocolRun,
-    clear_twin_start_cache,
-    derive_run_seed,
-    run_episode,
-    run_scenario,
+from repro.errors import CampaignError
+from repro.experiments.canonical import graph_content_hash, unit_key
+from repro.experiments.ledger import ResultLedger
+from repro.experiments.runner import ProtocolRun
+from repro.experiments.supervisor import (
+    RetryPolicy,
+    Supervisor,
+    SupervisedOutcome,
+    UnitFailure,
+    WorkUnit,
+    _cyclic_gc_paused,
+    run_unit,
 )
-from repro.experiments.scenarios import Episode
 from repro.topology.graph import ASGraph
-from repro.topology.serialization import graph_from_bytes, graph_to_bytes
 
-#: One work unit: (scenario/episode builder, kind, master seed,
-#: instance, protocol).  The builder decides the execution path: a
-#: returned :class:`Scenario` runs through ``run_scenario``, an
-#: :class:`Episode` through ``run_episode`` — so campaign drivers fan
-#: episode families over the identical pool/merge machinery.
-WorkUnit = Tuple[Callable, str, int, int, str]
-
-#: Topology of the current worker process, rebuilt once per worker by
-#: the pool initializer.
-_WORKER_GRAPH: Optional[ASGraph] = None
+__all__ = [
+    "CampaignOutcome",
+    "ParallelRunner",
+    "WorkUnit",
+    "run_unit",
+]
 
 
-def _init_worker(graph_payload: bytes) -> None:
-    global _WORKER_GRAPH
-    _WORKER_GRAPH = graph_from_bytes(graph_payload)
+@dataclass
+class CampaignOutcome:
+    """Merged results of one campaign grid, plus its failure report.
 
-
-@contextlib.contextmanager
-def _cyclic_gc_paused() -> Iterator[None]:
-    """Pause the cyclic garbage collector around simulation units.
-
-    A protocol simulation allocates hundreds of thousands of tracked
-    objects (routes, messages, event tuples); with the collector
-    enabled, generational scans account for a double-digit percentage
-    of end-to-end figure time.  Pausing is safe because every network
-    is explicitly ``dispose()``d when its unit finishes — the cycles
-    the collector would have to find are broken by hand, and memory
-    returns through reference counting.  The previous collector state
-    is restored on exit, even on error.
+    ``runs`` maps protocol to the per-instance run list in canonical
+    instance order; a terminally failed unit is *omitted* from its
+    protocol's list (so per-protocol lists may be shorter than the
+    instance count) and described in ``failures``.  ``executed`` and
+    ``ledger_hits`` expose how much work the sweep actually paid for.
     """
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        yield
-    finally:
-        if was_enabled:
-            gc.enable()
 
+    runs: Dict[str, List[ProtocolRun]]
+    failures: List[UnitFailure] = field(default_factory=list)
+    executed: int = 0
+    ledger_hits: int = 0
 
-def run_unit(
-    graph: ASGraph,
-    builder: Callable,
-    kind: str,
-    seed: int,
-    instance: int,
-    protocol: str,
-):
-    """Execute one (instance, protocol) simulation deterministically.
-
-    Both the sequential and the pooled path run exactly this function,
-    which is what makes worker count irrelevant to the results: the
-    scenario (or episode) is re-derived from a fresh string-seeded RNG
-    and the simulation seed from :func:`derive_run_seed`.  Episode
-    builders yield :class:`repro.experiments.runner.EpisodeRun`s, which
-    expose the same metric surface as :class:`ProtocolRun`.
-    """
-    scenario_rng = random.Random(f"{seed}:{kind}:{instance}")
-    scenario = builder(graph, scenario_rng)
-    run_seed = derive_run_seed(seed, kind, instance)
-    if isinstance(scenario, Episode):
-        return run_episode(graph, scenario, protocol, seed=run_seed)
-    return run_scenario(graph, scenario, protocol, seed=run_seed)
-
-
-def _run_unit_in_worker(unit: WorkUnit):
-    builder, kind, seed, instance, protocol = unit
-    assert _WORKER_GRAPH is not None, "worker initializer did not run"
-    with _cyclic_gc_paused():
-        return run_unit(_WORKER_GRAPH, builder, kind, seed, instance, protocol)
+    @property
+    def complete(self) -> bool:
+        return not self.failures
 
 
 @dataclass(frozen=True)
 class ParallelRunner:
-    """Fans (instance, protocol) work units over a process pool."""
+    """Fans (instance, protocol) work units over a supervised pool.
+
+    ``max_attempts``/``unit_timeout``/``backoff_base``/``backoff_factor``
+    /``degrade_final`` configure the
+    :class:`~repro.experiments.supervisor.RetryPolicy`; ``ledger_path``
+    enables the crash-safe result ledger.  None of them can change the
+    *value* of any result — units are pure and the merge canonical —
+    only whether and where a result gets computed.
+    """
 
     workers: int = 1
+    max_attempts: int = 2
+    unit_timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    degrade_final: bool = False
+    ledger_path: Optional[Union[str, Path]] = None
 
-    @staticmethod
-    def _run_inprocess(graph: ASGraph, units: List[WorkUnit]) -> List[ProtocolRun]:
-        """Sequential unit loop (GC paused, twin cache grid-scoped)."""
-        try:
-            with _cyclic_gc_paused():
-                return [run_unit(graph, *unit) for unit in units]
-        finally:
-            # A twin-start snapshot whose twin never ran must not
-            # outlive the grid that parked it.
-            clear_twin_start_cache()
+    def _policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            unit_timeout=self.unit_timeout,
+            backoff_base=self.backoff_base,
+            backoff_factor=self.backoff_factor,
+            degrade_final=self.degrade_final,
+        )
 
-    def run_units(self, graph: ASGraph, units: Sequence[WorkUnit]) -> List[ProtocolRun]:
-        """Run all units; the result list matches the unit order."""
+    def run_units_supervised(
+        self, graph: ASGraph, units: Sequence[WorkUnit]
+    ) -> SupervisedOutcome:
+        """Run all units under supervision; never raises for unit faults.
+
+        The returned outcome's ``results`` list matches the unit order
+        (``None`` for terminal failures, which are classified in
+        ``failures``).
+        """
         units = list(units)
-        if self.workers <= 1 or len(units) <= 1:
-            return self._run_inprocess(graph, units)
-        workers = min(self.workers, len(units))
-        payload = graph_to_bytes(graph)
+        ledger = keys = None
+        if self.ledger_path is not None:
+            ledger = ResultLedger(self.ledger_path)
+            graph_hash = graph_content_hash(graph)
+            keys = [
+                unit_key(graph_hash, builder, kind, seed, instance, protocol)
+                for builder, kind, seed, instance, protocol in units
+            ]
         try:
-            with multiprocessing.get_context().Pool(
-                workers, initializer=_init_worker, initargs=(payload,)
-            ) as pool:
-                # pool.map preserves unit order, which is what makes
-                # the merge canonical; chunks amortize IPC per worker.
-                chunksize = max(1, len(units) // (workers * 4))
-                return pool.map(_run_unit_in_worker, units, chunksize=chunksize)
-        except OSError:
-            # Sandboxed environments without process support: degrade
-            # to the identical in-process loop.
-            return self._run_inprocess(graph, units)
+            supervisor = Supervisor(
+                graph,
+                units,
+                workers=self.workers,
+                policy=self._policy(),
+                ledger=ledger,
+                unit_keys=keys,
+            )
+            return supervisor.run()
+        finally:
+            if ledger is not None:
+                ledger.close()
+
+    def run_units(
+        self, graph: ASGraph, units: Sequence[WorkUnit]
+    ) -> List[ProtocolRun]:
+        """Run all units; the result list matches the unit order.
+
+        Raises :class:`~repro.errors.CampaignError` (carrying the
+        partial results and the failure report) if any unit failed
+        terminally — callers that want the partial outcome instead use
+        :meth:`run_units_supervised`.
+        """
+        outcome = self.run_units_supervised(graph, units)
+        if outcome.failures:
+            raise CampaignError(
+                "; ".join(f.describe() for f in outcome.failures),
+                outcome=outcome,
+            )
+        return outcome.results
 
     def run_failure_comparison(
         self,
@@ -168,21 +172,30 @@ class ParallelRunner:
         n_instances: int,
         protocols: Sequence[str],
         graph: ASGraph,
-    ) -> Dict[str, List[ProtocolRun]]:
+    ) -> CampaignOutcome:
         """All (instance, protocol) runs of one figure or campaign.
 
-        Returns ``{protocol: [run per instance, in instance order]}``
-        — the canonical merge order, independent of scheduling.  With
-        an episode builder the lists hold ``EpisodeRun``s (same metric
-        surface; see :func:`run_unit`).
+        ``runs`` holds ``{protocol: [run per instance, in instance
+        order]}`` — the canonical merge order, independent of
+        scheduling, retries, and ledger hits.  With an episode builder
+        the lists hold ``EpisodeRun``s (same metric surface; see
+        :func:`~repro.experiments.supervisor.run_unit`).  Terminally
+        failed units are reported in ``failures`` instead of poisoning
+        the sweep.
         """
         units: List[WorkUnit] = [
             (builder, kind, seed, instance, protocol)
             for instance in range(n_instances)
             for protocol in protocols
         ]
-        results = self.run_units(graph, units)
+        outcome = self.run_units_supervised(graph, units)
         runs: Dict[str, List[ProtocolRun]] = {p: [] for p in protocols}
-        for (_, _, _, _, protocol), run in zip(units, results):
-            runs[protocol].append(run)
-        return runs
+        for (_, _, _, _, protocol), run in zip(units, outcome.results):
+            if run is not None:
+                runs[protocol].append(run)
+        return CampaignOutcome(
+            runs=runs,
+            failures=outcome.failures,
+            executed=outcome.executed,
+            ledger_hits=outcome.ledger_hits,
+        )

@@ -46,6 +46,36 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     return "\n".join(out)
 
 
+def format_failure_report(failures: Sequence) -> str:
+    """Render a campaign's :class:`UnitFailure` list as a table.
+
+    One row per terminally failed unit: its identity, how many
+    attempts it burned, and the per-attempt causes in order
+    (``exception`` / ``timeout`` / ``worker-death``).  Returns an
+    empty string for a failure-free campaign so callers can print
+    unconditionally.
+    """
+    if not failures:
+        return ""
+    rows = [
+        (
+            failure.kind,
+            failure.instance,
+            failure.protocol,
+            len(failure.attempts),
+            ", ".join(a.cause for a in failure.attempts),
+        )
+        for failure in failures
+    ]
+    table = format_table(
+        ["kind", "instance", "protocol", "attempts", "causes"], rows
+    )
+    return (
+        f"WARNING: {len(failures)} unit(s) failed terminally; their "
+        "samples are missing from the aggregates above.\n" + table
+    )
+
+
 def cdf_sparkline(points: Sequence[tuple], *, buckets: int = 20) -> str:
     """Compact one-line rendering of a CDF for terminal output."""
     if not points:

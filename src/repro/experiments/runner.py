@@ -100,6 +100,19 @@ class ExperimentConfig:
     #: in-process.  Results are merged in canonical order, so any
     #: worker count produces byte-identical statistics.
     workers: int = 1
+    #: Re-attempts after a unit's first failure (attempts = retries+1).
+    #: Retries cannot change results — units are pure — only whether a
+    #: transient fault (worker killed, hung simulation) loses a unit.
+    retries: int = 1
+    #: Per-attempt wall-clock limit in seconds (None disables; only
+    #: enforceable when a worker pool is in use).
+    unit_timeout: Optional[float] = None
+    #: Base of the exponential retry backoff, in seconds.
+    retry_backoff: float = 0.5
+    #: Path of the crash-safe content-addressed result ledger; set to
+    #: make campaigns resumable and overlapping sweeps incremental
+    #: (see docs/robustness.md).
+    ledger_path: Optional[str] = None
 
 
 def derive_run_seed(seed: int, kind: str, instance: int) -> int:

@@ -1,0 +1,634 @@
+"""Supervised execution of experiment units: retry, timeout, backoff.
+
+The experiment grid is embarrassingly parallel, but a bare
+``pool.map`` is all-or-nothing: one unit that raises, one worker the
+OOM reaper kills, or one hung simulation loses the entire campaign.
+This module replaces it with a *supervised worker pool*:
+
+* every unit is dispatched individually to a long-lived worker process
+  over a dedicated pipe, so the supervisor always knows exactly which
+  unit each worker is running (no shared queue a dying worker could
+  poison, and failure attribution is exact);
+* each attempt runs under a configurable wall-clock timeout — a hung
+  worker is killed and only *its* unit is charged an attempt;
+* a worker that dies (``os._exit``, OOM kill, segfault) is detected
+  via its process sentinel, its unit is charged, and a replacement
+  worker is spawned;
+* failed units are retried up to :attr:`RetryPolicy.max_attempts`
+  times with exponential backoff, optionally degrading the final
+  attempt to the in-process path;
+* terminal failures are classified into structured
+  :class:`UnitFailure` records, so a campaign returns *all* completed
+  results plus an explicit failure report instead of one opaque
+  exception.
+
+Determinism: every unit is a pure function of ``(graph, builder, kind,
+seed, instance, protocol)`` (see :func:`run_unit`) and results are
+returned positionally, so retries, worker placement, and worker count
+are invisible in the output — a failure-free supervised run is
+byte-identical to the sequential path at any worker count (pinned by
+the golden determinism tests).
+
+With a :class:`~repro.experiments.ledger.ResultLedger` attached, every
+completed unit is appended crash-safely as it finishes and
+already-ledgered units are never recomputed — the persistence half of
+resumable campaigns (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import logging
+import multiprocessing
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.experiments import faults
+from repro.experiments.ledger import ResultLedger
+from repro.experiments.runner import (
+    clear_twin_start_cache,
+    derive_run_seed,
+    run_episode,
+    run_scenario,
+)
+from repro.experiments.scenarios import Episode
+from repro.topology.graph import ASGraph
+from repro.topology.serialization import graph_from_bytes, graph_to_bytes
+
+logger = logging.getLogger("repro.experiments.supervisor")
+
+#: One work unit: (scenario/episode builder, kind, master seed,
+#: instance, protocol).  The builder decides the execution path: a
+#: returned :class:`Scenario` runs through ``run_scenario``, an
+#: :class:`Episode` through ``run_episode`` — so campaign drivers fan
+#: episode families over the identical pool/merge machinery.
+WorkUnit = Tuple[Callable, str, int, int, str]
+
+
+@contextlib.contextmanager
+def _cyclic_gc_paused() -> Iterator[None]:
+    """Pause the cyclic garbage collector around simulation units.
+
+    A protocol simulation allocates hundreds of thousands of tracked
+    objects (routes, messages, event tuples); with the collector
+    enabled, generational scans account for a double-digit percentage
+    of end-to-end figure time.  Pausing is safe because every network
+    is explicitly ``dispose()``d when its unit finishes — the cycles
+    the collector would have to find are broken by hand, and memory
+    returns through reference counting.  The previous collector state
+    is restored on exit, even on error.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def run_unit(
+    graph: ASGraph,
+    builder: Callable,
+    kind: str,
+    seed: int,
+    instance: int,
+    protocol: str,
+):
+    """Execute one (instance, protocol) simulation deterministically.
+
+    Every execution path — sequential, pooled, retried, degraded —
+    runs exactly this function, which is what makes scheduling
+    invisible in the results: the scenario (or episode) is re-derived
+    from a fresh string-seeded RNG and the simulation seed from
+    :func:`~repro.experiments.runner.derive_run_seed`.  Episode
+    builders yield :class:`repro.experiments.runner.EpisodeRun`s, which
+    expose the same metric surface as
+    :class:`~repro.experiments.runner.ProtocolRun`.
+    """
+    faults.maybe_inject(kind, seed, instance, protocol)
+    scenario_rng = random.Random(f"{seed}:{kind}:{instance}")
+    scenario = builder(graph, scenario_rng)
+    run_seed = derive_run_seed(seed, kind, instance)
+    if isinstance(scenario, Episode):
+        return run_episode(graph, scenario, protocol, seed=run_seed)
+    return run_scenario(graph, scenario, protocol, seed=run_seed)
+
+
+# ----------------------------------------------------------------------
+# Policy and outcome types
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervisor reacts when a unit attempt fails.
+
+    ``max_attempts`` bounds total attempts per unit (1 = no retries).
+    ``unit_timeout`` is the per-attempt wall-clock limit in seconds
+    (``None`` disables it; it is only enforceable for pooled attempts —
+    an in-process attempt cannot be interrupted).  Retry ``k`` (1-based)
+    waits ``backoff_base * backoff_factor**(k-1)`` seconds before
+    redispatch.  With ``degrade_final`` set, a unit's last attempt runs
+    in the supervisor process itself — the escape hatch when the pool
+    environment (not the unit) is what keeps failing.
+    """
+
+    max_attempts: int = 2
+    unit_timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    degrade_final: bool = False
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt: why, and what the worker left behind."""
+
+    #: ``"exception"`` (unit raised), ``"timeout"`` (attempt exceeded
+    #: the wall-clock limit and the worker was killed), or
+    #: ``"worker-death"`` (the worker process vanished mid-unit).
+    cause: str
+    #: Traceback text for exceptions, a description otherwise.
+    detail: str
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """A unit that exhausted every attempt, with its full history."""
+
+    index: int
+    kind: str
+    seed: int
+    instance: int
+    protocol: str
+    attempts: Tuple[AttemptFailure, ...]
+
+    def describe(self) -> str:
+        causes = ", ".join(a.cause for a in self.attempts)
+        return (
+            f"unit {self.kind}:{self.seed}:{self.instance}:{self.protocol} "
+            f"failed after {len(self.attempts)} attempt(s) [{causes}]"
+        )
+
+
+@dataclass
+class SupervisedOutcome:
+    """Everything a supervised campaign produced.
+
+    ``results`` is positionally aligned with the submitted units;
+    entries of terminally failed units are ``None`` and described in
+    ``failures``.  ``executed`` counts attempts that actually simulated
+    to completion; ``ledger_hits`` counts units answered from the
+    ledger without computing.
+    """
+
+    results: List[Optional[object]]
+    failures: List[UnitFailure] = field(default_factory=list)
+    executed: int = 0
+    ledger_hits: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(conn, graph_payload: bytes) -> None:
+    """Worker loop: receive ``(index, unit)``, send back the outcome.
+
+    The worker owns a private duplex pipe; a unit that raises reports
+    ``(index, "error", traceback)`` and the worker survives for the
+    next unit.  Only process death (or a ``None`` shutdown message)
+    ends the loop — and death is exactly what the supervisor's
+    sentinel watch detects.
+    """
+    faults.mark_worker_process()
+    graph = graph_from_bytes(graph_payload)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, unit = message
+        try:
+            with _cyclic_gc_paused():
+                result = run_unit(graph, *unit)
+            conn.send((index, "ok", result))
+        except Exception:
+            conn.send((index, "error", traceback.format_exc()))
+
+
+class _Worker:
+    """Supervisor-side handle of one worker process."""
+
+    __slots__ = ("process", "conn", "assignment", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        #: Unit index currently running in the worker, or None (idle).
+        self.assignment: Optional[int] = None
+        #: Monotonic instant the running attempt times out, or None.
+        self.deadline: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+
+class Supervisor:
+    """Runs a unit grid to completion under a :class:`RetryPolicy`.
+
+    ``workers <= 0`` (or a pool that cannot be created — see
+    ``use_pool`` handling in :meth:`run`) executes everything
+    in-process with the same retry accounting; timeouts then cannot be
+    enforced and are ignored with a warning.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        units: Sequence[WorkUnit],
+        *,
+        workers: int,
+        policy: Optional[RetryPolicy] = None,
+        ledger: Optional[ResultLedger] = None,
+        unit_keys: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._graph = graph
+        self._units: List[WorkUnit] = list(units)
+        self._target_workers = workers
+        self._policy = policy or RetryPolicy()
+        if self._policy.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._ledger = ledger
+        if unit_keys is not None and len(unit_keys) != len(self._units):
+            raise ValueError("unit_keys must align with units")
+        self._keys = list(unit_keys) if unit_keys is not None else None
+
+        n = len(self._units)
+        self._results: List[Optional[object]] = [None] * n
+        self._resolved = [False] * n
+        self._attempts: List[List[AttemptFailure]] = [[] for _ in range(n)]
+        self._not_before = [0.0] * n
+        self._pending: List[int] = []
+        self._failures: List[UnitFailure] = []
+        self._executed = 0
+        self._ledger_hits = 0
+        self._workers: List[_Worker] = []
+        self._payload: Optional[bytes] = None
+        self._spawn_failed = False
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _unit_identity(self, index: int) -> Tuple[str, int, int, str]:
+        _, kind, seed, instance, protocol = self._units[index]
+        return kind, seed, instance, protocol
+
+    def _complete(self, index: int, result: object) -> None:
+        if self._resolved[index]:
+            return
+        self._results[index] = result
+        self._resolved[index] = True
+        self._executed += 1
+        if self._ledger is not None and self._keys is not None:
+            self._ledger.put(self._keys[index], result)
+
+    def _attempt_failed(self, index: int, cause: str, detail: str) -> None:
+        if self._resolved[index]:
+            return
+        records = self._attempts[index]
+        records.append(AttemptFailure(cause=cause, detail=detail))
+        kind, seed, instance, protocol = self._unit_identity(index)
+        if len(records) >= self._policy.max_attempts:
+            failure = UnitFailure(
+                index=index,
+                kind=kind,
+                seed=seed,
+                instance=instance,
+                protocol=protocol,
+                attempts=tuple(records),
+            )
+            self._failures.append(failure)
+            self._resolved[index] = True
+            logger.warning("terminal failure: %s", failure.describe())
+        else:
+            retry = len(records)  # 1-based retry ordinal
+            delay = (
+                self._policy.backoff_base
+                * self._policy.backoff_factor ** (retry - 1)
+            )
+            self._not_before[index] = time.monotonic() + delay
+            self._pending.append(index)
+            logger.warning(
+                "unit %s:%s:%s:%s attempt %d failed (%s); retrying in %.2fs",
+                kind, seed, instance, protocol, retry, cause, delay,
+            )
+
+    def _is_final_attempt(self, index: int) -> bool:
+        return len(self._attempts[index]) == self._policy.max_attempts - 1
+
+    def _run_attempt_inprocess(self, index: int) -> None:
+        """One attempt in the supervisor process (degraded/pool-less)."""
+        try:
+            with _cyclic_gc_paused():
+                result = run_unit(self._graph, *self._units[index])
+        except Exception:
+            self._attempt_failed(index, "exception", traceback.format_exc())
+        else:
+            self._complete(index, result)
+
+    # -- ledger preload ------------------------------------------------
+
+    def _preload_from_ledger(self) -> None:
+        if self._ledger is None or self._keys is None:
+            for index in range(len(self._units)):
+                self._pending.append(index)
+            return
+        for index, key in enumerate(self._keys):
+            if key in self._ledger:
+                self._results[index] = self._ledger.get(key)
+                self._resolved[index] = True
+                self._ledger_hits += 1
+            else:
+                self._pending.append(index)
+
+    # -- pool management -----------------------------------------------
+
+    def _spawn_worker(self) -> Optional[_Worker]:
+        """Start one worker; on spawn failure, remember and warn once."""
+        if self._spawn_failed:
+            return None
+        context = multiprocessing.get_context()
+        try:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, self._payload),
+                daemon=True,
+            )
+            process.start()
+        except OSError as exc:
+            # Narrow degradation point: only *pool creation* failures
+            # (sandboxes without process support) fall back in-process;
+            # worker-side crashes are supervised, never swallowed.
+            self._spawn_failed = True
+            logger.warning(
+                "cannot spawn worker processes (%s); degrading to "
+                "in-process execution", exc,
+            )
+            return None
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _discard_worker(self, worker: _Worker, *, kill: bool) -> None:
+        self._workers.remove(worker)
+        if kill and worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+        worker.process.join(timeout=2.0)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _shutdown_pool(self) -> None:
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for worker in list(self._workers):
+            self._discard_worker(worker, kill=True)
+
+    # -- message handling ----------------------------------------------
+
+    def _handle_message(self, worker: _Worker, message) -> None:
+        index, status, payload = message
+        if worker.assignment == index:
+            worker.assignment = None
+            worker.deadline = None
+        if status == "ok":
+            self._complete(index, payload)
+        else:
+            self._attempt_failed(index, "exception", payload)
+
+    def _drain(self, worker: _Worker) -> None:
+        while True:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return
+            except Exception:
+                # A worker that died mid-send leaves a truncated pickle;
+                # the sentinel path will charge its assignment.
+                return
+            self._handle_message(worker, message)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _next_eligible(self, now: float) -> Optional[int]:
+        for position, index in enumerate(self._pending):
+            if self._not_before[index] <= now:
+                return self._pending.pop(position)
+        return None
+
+    def _earliest_backoff(self) -> Optional[float]:
+        if not self._pending:
+            return None
+        return min(self._not_before[index] for index in self._pending)
+
+    def _dispatch(self) -> None:
+        """Hand eligible pending units to idle (or new) workers."""
+        while self._pending:
+            now = time.monotonic()
+            index = self._next_eligible(now)
+            if index is None:
+                return
+            if self._policy.degrade_final and self._is_final_attempt(index):
+                # Last chance: bypass the pool entirely.
+                logger.warning(
+                    "degrading final attempt of unit %s:%s:%s:%s to the "
+                    "in-process path", *self._unit_identity(index),
+                )
+                self._run_attempt_inprocess(index)
+                continue
+            worker = next(
+                (w for w in self._workers if w.assignment is None), None
+            )
+            if worker is None and len(self._workers) < self._target_workers:
+                worker = self._spawn_worker()
+            if worker is None:
+                if not self._workers:
+                    # No pool at all: run the attempt where we stand.
+                    self._run_attempt_inprocess(index)
+                    continue
+                self._pending.insert(0, index)
+                return
+            try:
+                worker.conn.send((index, self._units[index]))
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between tasks; charge nothing, retire
+                # it, and redispatch on the next loop pass.
+                self._pending.insert(0, index)
+                self._discard_worker(worker, kill=True)
+                continue
+            worker.assignment = index
+            worker.deadline = (
+                time.monotonic() + self._policy.unit_timeout
+                if self._policy.unit_timeout is not None
+                else None
+            )
+
+    def _wait_timeout(self) -> Optional[float]:
+        now = time.monotonic()
+        instants = [
+            w.deadline for w in self._workers if w.deadline is not None
+        ]
+        backoff = self._earliest_backoff()
+        if backoff is not None and any(
+            w.assignment is None for w in self._workers
+        ):
+            instants.append(backoff)
+        if not instants:
+            return None
+        return max(0.0, min(instants) - now)
+
+    def _reap_timeouts(self) -> None:
+        if self._policy.unit_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.assignment is None or worker.deadline is None:
+                continue
+            if now < worker.deadline:
+                continue
+            self._drain(worker)
+            if worker.assignment is None:
+                continue  # the result arrived just in time
+            index = worker.assignment
+            worker.assignment = None
+            self._discard_worker(worker, kill=True)
+            self._attempt_failed(
+                index,
+                "timeout",
+                f"attempt exceeded the {self._policy.unit_timeout:g}s "
+                "wall-clock limit; worker killed",
+            )
+
+    def _reap_deaths(self, dead: List[_Worker]) -> None:
+        for worker in dead:
+            # A result may have been sent before the process died.
+            self._drain(worker)
+            index = worker.assignment
+            exitcode = worker.process.exitcode
+            worker.assignment = None
+            self._discard_worker(worker, kill=False)
+            if index is not None:
+                self._attempt_failed(
+                    index,
+                    "worker-death",
+                    f"worker process died (exit code {exitcode}) while "
+                    "running the unit",
+                )
+
+    # -- main loop -----------------------------------------------------
+
+    def _outcome(self) -> SupervisedOutcome:
+        return SupervisedOutcome(
+            results=self._results,
+            failures=self._failures,
+            executed=self._executed,
+            ledger_hits=self._ledger_hits,
+        )
+
+    def _run_pool(self) -> None:
+        self._payload = graph_to_bytes(self._graph)
+        try:
+            while self._pending or any(
+                w.assignment is not None for w in self._workers
+            ):
+                self._dispatch()
+                busy = [w for w in self._workers if w.assignment is not None]
+                if not busy:
+                    if not self._pending:
+                        break
+                    backoff = self._earliest_backoff()
+                    if backoff is not None and not any(
+                        w.assignment is None for w in self._workers
+                    ) and not self._spawn_failed:
+                        # Dispatch will spawn/assign next pass.
+                        continue
+                    if backoff is not None:
+                        time.sleep(max(0.0, backoff - time.monotonic()))
+                    continue
+                watch: Dict[object, _Worker] = {}
+                for worker in busy:
+                    watch[worker.conn] = worker
+                    watch[worker.process.sentinel] = worker
+                ready = connection.wait(
+                    list(watch), timeout=self._wait_timeout()
+                )
+                dead: List[_Worker] = []
+                for obj in ready:
+                    worker = watch[obj]
+                    if obj is worker.conn:
+                        self._drain(worker)
+                    elif worker in self._workers and worker not in dead:
+                        dead.append(worker)
+                self._reap_deaths([w for w in dead if w in self._workers])
+                self._reap_timeouts()
+        finally:
+            self._shutdown_pool()
+            clear_twin_start_cache()
+
+    def _run_inprocess(self) -> None:
+        if self._policy.unit_timeout is not None:
+            logger.warning(
+                "unit_timeout is not enforceable on the in-process path; "
+                "attempts run to completion"
+            )
+        try:
+            with _cyclic_gc_paused():
+                while self._pending:
+                    now = time.monotonic()
+                    index = self._next_eligible(now)
+                    if index is None:
+                        earliest = self._earliest_backoff()
+                        time.sleep(max(0.0, earliest - now))
+                        continue
+                    self._run_attempt_inprocess(index)
+        finally:
+            # A twin-start snapshot whose twin never ran must not
+            # outlive the grid that parked it.
+            clear_twin_start_cache()
+
+    def run(self) -> SupervisedOutcome:
+        """Execute every unit; never raises for unit-level failures."""
+        self._preload_from_ledger()
+        if not self._pending:
+            return self._outcome()
+        if self._target_workers >= 2 and len(self._pending) > 1:
+            self._run_pool()
+        else:
+            self._run_inprocess()
+        return self._outcome()

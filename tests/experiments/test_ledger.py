@@ -1,0 +1,232 @@
+"""Crash-safety tests of the append-only result ledger.
+
+The contract under test: a completed ``put`` survives anything, a
+crash mid-append costs exactly the torn record (skipped with a
+warning, never an exception), duplicate keys resolve last-write-wins,
+and two processes appending to the same ledger never corrupt it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+
+from repro.experiments.ledger import ResultLedger
+
+
+def _fill(ledger: ResultLedger, n: int, prefix: str = "k") -> None:
+    for i in range(n):
+        ledger.put(f"{prefix}{i}", {"value": i, "tag": prefix})
+
+
+class TestRoundTrip:
+    def test_put_then_get_in_same_instance(self, tmp_path):
+        with ResultLedger(tmp_path / "ledger.jsonl") as ledger:
+            ledger.put("a", {"x": 1})
+            assert "a" in ledger
+            assert ledger.get("a") == {"x": 1}
+
+    def test_results_survive_reopen(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 5)
+        with ResultLedger(path) as reopened:
+            assert len(reopened) == 5
+            assert sorted(reopened.keys()) == [f"k{i}" for i in range(5)]
+            for i in range(5):
+                assert reopened.get(f"k{i}") == {"value": i, "tag": "k"}
+            assert reopened.dropped_records == 0
+
+    def test_arbitrary_picklable_values(self, tmp_path):
+        with ResultLedger(tmp_path / "ledger.jsonl") as ledger:
+            value = {"nested": [1, (2, 3)], "text": "é", "none": None}
+            ledger.put("key", value)
+        with ResultLedger(tmp_path / "ledger.jsonl") as reopened:
+            assert reopened.get("key") == value
+
+    def test_missing_file_is_an_empty_ledger(self, tmp_path):
+        ledger = ResultLedger(tmp_path / "does-not-exist.jsonl")
+        assert len(ledger) == 0
+        ledger.close()
+
+    def test_put_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            ledger.put("a", 1)
+        assert path.exists()
+
+    def test_records_are_newline_terminated_jsonl(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 3)
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        lines = data.decode("ascii").splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"v", "key", "payload", "psha"}
+
+
+class TestTornAndCorruptRecords:
+    def test_torn_final_record_is_skipped_with_warning(self, tmp_path, caplog):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 3)
+        # Simulate a crash mid-append: a truncated, unterminated line.
+        complete = ResultLedger.encode_record("torn", b"payload-bytes")
+        with open(path, "ab") as handle:
+            handle.write(complete[: len(complete) // 2])
+        with caplog.at_level(logging.WARNING, "repro.experiments.ledger"):
+            reopened = ResultLedger(path)
+        assert len(reopened) == 3
+        assert "torn" not in reopened
+        assert reopened.dropped_records == 1
+        assert any("torn trailing" in r.message for r in caplog.records)
+        reopened.close()
+
+    def test_torn_record_does_not_block_later_appends(self, tmp_path):
+        """A restart after a torn append keeps appending; the torn line
+        is then an interior corrupt record and the ledger still loads."""
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            ledger.put("before", 1)
+        with open(path, "ab") as handle:
+            handle.write(b'{"v": 1, "key": "half')
+        with ResultLedger(path) as resumed:
+            assert resumed.dropped_records == 1
+            resumed.put("after", 2)
+        with ResultLedger(path) as final:
+            assert final.get("before") == 1
+            assert final.get("after") == 2
+            assert final.dropped_records == 1
+
+    def test_corrupt_interior_record_is_skipped(self, tmp_path, caplog):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        record["payload"] = record["payload"][:-8] + "AAAAAAA="  # bit rot
+        lines[1] = (json.dumps(record) + "\n").encode("ascii")
+        path.write_bytes(b"".join(lines))
+        with caplog.at_level(logging.WARNING, "repro.experiments.ledger"):
+            reopened = ResultLedger(path)
+        assert len(reopened) == 2
+        assert "k1" not in reopened
+        assert reopened.dropped_records == 1
+        assert any("digest mismatch" in r.message for r in caplog.records)
+        reopened.close()
+
+    def test_wrong_version_record_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_bytes(
+            b'{"v": 99, "key": "a", "payload": "AA==", "psha": "00"}\n'
+        )
+        ledger = ResultLedger(path)
+        assert len(ledger) == 0
+        assert ledger.dropped_records == 1
+        ledger.close()
+
+    def test_load_never_raises_on_garbage(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_bytes(b"\x00\xffnot json at all\n[1, 2, 3]\n\n")
+        ledger = ResultLedger(path)
+        assert len(ledger) == 0
+        assert ledger.dropped_records == 2
+        ledger.close()
+
+
+class TestDuplicateKeys:
+    def test_last_write_wins(self, tmp_path):
+        """Documented policy: the most recent record for a key is the
+        one served — both live and across a reload."""
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            ledger.put("k", "old")
+            ledger.put("k", "new")
+            assert ledger.get("k") == "new"
+            assert len(ledger) == 1
+        with ResultLedger(path) as reopened:
+            assert reopened.get("k") == "new"
+            assert len(reopened) == 1
+
+    def test_compact_keeps_the_winning_record(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ResultLedger(path)
+        ledger.put("k", "old")
+        ledger.put("k", "new")
+        ledger.put("other", 1)
+        ledger.compact()
+        assert len(path.read_bytes().splitlines()) == 2
+        with ResultLedger(path) as reopened:
+            assert reopened.get("k") == "new"
+            assert reopened.get("other") == 1
+
+
+class TestCompaction:
+    def test_compact_drops_corrupt_lines(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 3)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage-half-record")
+        ledger = ResultLedger(path)
+        assert ledger.dropped_records == 1
+        ledger.compact()
+        assert ledger.dropped_records == 0
+        with ResultLedger(path) as reopened:
+            assert len(reopened) == 3
+            assert reopened.dropped_records == 0
+
+    def test_compact_leaves_no_temporary_file(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = ResultLedger(path)
+        _fill(ledger, 2)
+        ledger.compact()
+        assert [p.name for p in tmp_path.iterdir()] == ["ledger.jsonl"]
+
+    def test_ledger_usable_after_compact(self, tmp_path):
+        ledger = ResultLedger(tmp_path / "ledger.jsonl")
+        ledger.put("a", 1)
+        ledger.compact()
+        ledger.put("b", 2)
+        ledger.close()
+        with ResultLedger(tmp_path / "ledger.jsonl") as reopened:
+            assert reopened.get("a") == 1
+            assert reopened.get("b") == 2
+
+
+def _append_records(path, prefix, count):
+    """Child-process body of the concurrent-append test."""
+    with ResultLedger(path) as ledger:
+        for i in range(count):
+            ledger.put(f"{prefix}{i}", {"writer": prefix, "i": i})
+
+
+class TestConcurrentAppend:
+    def test_two_processes_share_one_ledger(self, tmp_path):
+        """Two writers appending concurrently never tear each other's
+        records: every put from both processes is recoverable."""
+        path = tmp_path / "ledger.jsonl"
+        count = 25
+        writers = [
+            multiprocessing.Process(
+                target=_append_records, args=(path, prefix, count)
+            )
+            for prefix in ("alpha", "beta")
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        with ResultLedger(path) as merged:
+            assert merged.dropped_records == 0
+            assert len(merged) == 2 * count
+            for prefix in ("alpha", "beta"):
+                for i in range(count):
+                    assert merged.get(f"{prefix}{i}") == {
+                        "writer": prefix, "i": i,
+                    }

@@ -60,7 +60,7 @@ class TestDeterministicMerge:
     def test_merge_order_is_canonical(self, tiny_graph):
         """Every protocol gets one run per instance, in instance order."""
         runner = ParallelRunner(workers=2)
-        runs = runner.run_failure_comparison(
+        outcome = runner.run_failure_comparison(
             single_provider_link_failure,
             "fig2-single-link",
             7,
@@ -68,6 +68,8 @@ class TestDeterministicMerge:
             PROTOCOLS,
             tiny_graph,
         )
+        assert outcome.complete and not outcome.failures
+        runs = outcome.runs
         assert sorted(runs) == sorted(PROTOCOLS)
         for protocol, protocol_runs in runs.items():
             assert len(protocol_runs) == 3

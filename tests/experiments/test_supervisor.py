@@ -1,0 +1,286 @@
+"""Chaos tests of the supervised worker pool.
+
+Each test injects a fault (via :mod:`repro.experiments.faults`) into
+one unit of a small campaign grid and asserts the supervision
+contract: transient faults are retried and the campaign output is
+byte-identical to a clean run; persistent faults burn their attempts,
+are classified (``exception`` / ``timeout`` / ``worker-death``), and
+never cost any *other* unit its result.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.experiments.faults import FAULTS_ENV, combine_specs, fault_spec
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.reporting import format_failure_report
+from repro.experiments.scenarios import single_provider_link_failure
+from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
+
+TINY = InternetTopologyConfig(seed=5, n_tier1=3, n_tier2=8, n_tier3=16, n_stub=35)
+KIND = "fig2-single-link"
+SEED = 7
+N_INSTANCES = 3
+PROTOCOLS = ("bgp", "stamp")
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    graph, _ = generate_internet_topology(TINY)
+    return graph
+
+
+def _unit_stats(run):
+    """Exact (repr-level) fingerprint of one unit's result."""
+    return (
+        run.affected,
+        run.updates,
+        run.initial_updates,
+        repr(run.convergence_time),
+        repr(run.disruption_duration),
+    )
+
+
+def _stats(outcome):
+    return {
+        protocol: [_unit_stats(run) for run in runs]
+        for protocol, runs in outcome.runs.items()
+    }
+
+
+def _campaign(runner, graph):
+    return runner.run_failure_comparison(
+        single_provider_link_failure, KIND, SEED, N_INSTANCES, PROTOCOLS, graph
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(tiny_graph):
+    """Fingerprint of the failure-free sequential campaign."""
+    assert FAULTS_ENV not in os.environ
+    outcome = _campaign(ParallelRunner(workers=1), tiny_graph)
+    assert outcome.complete
+    return _stats(outcome)
+
+
+def _chaos_runner(**overrides):
+    settings = dict(workers=4, max_attempts=2, backoff_base=0.05)
+    settings.update(overrides)
+    return ParallelRunner(**settings)
+
+
+class TestCleanSupervision:
+    def test_pool_run_completes_everything(self, tiny_graph, baseline):
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert outcome.complete and not outcome.failures
+        assert outcome.executed == N_INSTANCES * len(PROTOCOLS)
+        assert outcome.ledger_hits == 0
+        assert _stats(outcome) == baseline
+
+
+class TestExceptionRecovery:
+    def test_raise_once_is_retried_and_recovers(
+        self, tiny_graph, baseline, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "raise", instance=1, protocol="bgp",
+            times=1, counter=str(tmp_path / "count"),
+        ))
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+
+    def test_raise_always_is_terminal_and_isolated(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "raise", instance=1, protocol="bgp",
+        ))
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert (failure.kind, failure.seed, failure.instance,
+                failure.protocol) == (KIND, SEED, 1, "bgp")
+        assert [a.cause for a in failure.attempts] == [
+            "exception", "exception",
+        ]
+        assert "InjectedFault" in failure.attempts[0].detail
+        # Every other unit is byte-identical to the clean run.
+        stats = _stats(outcome)
+        assert stats["stamp"] == baseline["stamp"]
+        assert stats["bgp"] == [baseline["bgp"][0], baseline["bgp"][2]]
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_once_is_retried_and_recovers(
+        self, tiny_graph, baseline, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "exit", instance=0, protocol="stamp", scope="worker",
+            times=1, counter=str(tmp_path / "count"),
+        ))
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+
+    def test_killed_worker_always_is_terminal_and_isolated(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "exit", instance=0, protocol="stamp", scope="worker",
+        ))
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert (failure.instance, failure.protocol) == (0, "stamp")
+        assert [a.cause for a in failure.attempts] == [
+            "worker-death", "worker-death",
+        ]
+        assert "exit code 3" in failure.attempts[0].detail
+        stats = _stats(outcome)
+        assert stats["bgp"] == baseline["bgp"]
+        assert stats["stamp"] == [baseline["stamp"][1], baseline["stamp"][2]]
+
+
+class TestTimeoutRecovery:
+    def test_hung_unit_is_killed_and_retried(
+        self, tiny_graph, baseline, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "hang", instance=2, protocol="stamp", scope="worker",
+            hang_seconds=30.0, times=1, counter=str(tmp_path / "count"),
+        ))
+        outcome = _campaign(
+            _chaos_runner(unit_timeout=1.0), tiny_graph
+        )
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+
+    def test_hung_unit_always_is_terminal_and_isolated(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "hang", instance=2, protocol="stamp", scope="worker",
+            hang_seconds=30.0,
+        ))
+        outcome = _campaign(
+            _chaos_runner(unit_timeout=0.75), tiny_graph
+        )
+        assert len(outcome.failures) == 1
+        failure = outcome.failures[0]
+        assert (failure.instance, failure.protocol) == (2, "stamp")
+        assert [a.cause for a in failure.attempts] == ["timeout", "timeout"]
+        assert "wall-clock" in failure.attempts[0].detail
+        stats = _stats(outcome)
+        assert stats["bgp"] == baseline["bgp"]
+        assert stats["stamp"] == [baseline["stamp"][0], baseline["stamp"][1]]
+
+
+class TestCombinedChaos:
+    def test_crash_hang_and_kill_in_one_campaign(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        """The acceptance scenario: one crashing unit, one hung unit,
+        and one worker kill in a single workers=4 campaign.  Every
+        other unit's result is byte-identical to a failure-free
+        sequential run, and all three failures are classified."""
+        monkeypatch.setenv(FAULTS_ENV, combine_specs(
+            fault_spec("raise", instance=0, protocol="bgp"),
+            fault_spec("hang", instance=1, protocol="stamp",
+                       scope="worker", hang_seconds=30.0),
+            fault_spec("exit", instance=2, protocol="bgp", scope="worker"),
+        ))
+        outcome = _campaign(
+            _chaos_runner(unit_timeout=1.0), tiny_graph
+        )
+        causes = {
+            (f.instance, f.protocol): [a.cause for a in f.attempts]
+            for f in outcome.failures
+        }
+        assert causes == {
+            (0, "bgp"): ["exception", "exception"],
+            (1, "stamp"): ["timeout", "timeout"],
+            (2, "bgp"): ["worker-death", "worker-death"],
+        }
+        stats = _stats(outcome)
+        assert stats["bgp"] == [baseline["bgp"][1]]
+        assert stats["stamp"] == [baseline["stamp"][0], baseline["stamp"][2]]
+        report = format_failure_report(outcome.failures)
+        assert "3 unit(s) failed terminally" in report
+        assert "worker-death" in report and "timeout" in report
+
+
+class TestDegradedFinalAttempt:
+    def test_final_attempt_bypasses_a_poisoned_pool(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        """A fault that kills every *pooled* attempt (scope: worker)
+        cannot kill the degraded final attempt, which runs in the
+        supervisor process — the campaign still completes cleanly."""
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "exit", instance=1, protocol="bgp", scope="worker",
+        ))
+        outcome = _campaign(
+            _chaos_runner(workers=2, degrade_final=True), tiny_graph
+        )
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+
+
+class TestInProcessPath:
+    def test_inprocess_retry_recovers(
+        self, tiny_graph, baseline, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "raise", instance=0, protocol="bgp",
+            times=1, counter=str(tmp_path / "count"),
+        ))
+        outcome = _campaign(
+            _chaos_runner(workers=1, backoff_base=0.01), tiny_graph
+        )
+        assert outcome.complete
+        assert outcome.executed == N_INSTANCES * len(PROTOCOLS)
+        assert _stats(outcome) == baseline
+
+    def test_inprocess_timeout_is_warned_unenforceable(
+        self, tiny_graph, caplog
+    ):
+        runner = ParallelRunner(workers=1, unit_timeout=5.0)
+        units = [(single_provider_link_failure, KIND, SEED, 0, "bgp")]
+        with caplog.at_level(
+            logging.WARNING, "repro.experiments.supervisor"
+        ):
+            outcome = runner.run_units_supervised(tiny_graph, units)
+        assert outcome.complete
+        assert any(
+            "not enforceable" in record.message for record in caplog.records
+        )
+
+
+class TestRunUnitsContract:
+    def test_terminal_failure_raises_campaign_error(
+        self, tiny_graph, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "raise", instance=0, protocol="bgp",
+        ))
+        runner = ParallelRunner(workers=1, max_attempts=2, backoff_base=0.01)
+        units = [
+            (single_provider_link_failure, KIND, SEED, instance, "bgp")
+            for instance in range(2)
+        ]
+        with pytest.raises(CampaignError) as excinfo:
+            runner.run_units(tiny_graph, units)
+        outcome = excinfo.value.outcome
+        assert len(outcome.failures) == 1
+        assert outcome.failures[0].describe().startswith(
+            f"unit {KIND}:{SEED}:0:bgp failed after 2 attempt(s)"
+        )
+        # The partial outcome still carries the surviving unit.
+        assert outcome.results[0] is None
+        assert outcome.results[1] is not None

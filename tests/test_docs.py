@@ -18,6 +18,7 @@ REPO = Path(__file__).parent.parent
 README = REPO / "README.md"
 ARCHITECTURE = REPO / "docs" / "architecture.md"
 SCENARIOS = REPO / "docs" / "scenarios.md"
+ROBUSTNESS = REPO / "docs" / "robustness.md"
 
 
 def test_readme_exists():
@@ -96,6 +97,34 @@ def test_scenarios_covers_the_event_model():
         "link_recovery",
     ):
         assert builder in text, f"figure mapping lost {builder}"
+
+
+def test_robustness_doc_exists():
+    assert ROBUSTNESS.is_file(), "docs/robustness.md is missing"
+
+
+def test_robustness_covers_the_contract():
+    """The robustness guide must document the whole failure surface."""
+    text = ROBUSTNESS.read_text()
+    for cause in ("`exception`", "`timeout`", "`worker-death`"):
+        assert cause in text, f"no failure-model entry for {cause}"
+    for topic in (
+        "last write wins",
+        "LEDGER_SALT",
+        "`--ledger",
+        "`--retries",
+        "`--unit-timeout",
+        "REPRO_FAULTS",
+        "canonical_json",
+    ):
+        assert topic in text, f"robustness guide lost its {topic!r} coverage"
+
+
+def test_readme_documents_resumable_campaigns():
+    text = README.read_text()
+    assert "## Resumable campaigns" in text
+    assert "--ledger" in text
+    assert "docs/robustness.md" in text
 
 
 def test_scenarios_doctests_pass():
