@@ -12,6 +12,11 @@ Usage examples::
     repro-stamp overhead
     repro-stamp delay
     repro-stamp topology --out as_graph.txt
+
+    repro-stamp serve --ledger results.jsonl      # campaign daemon
+    repro-stamp ledger stats results.jsonl
+    repro-stamp ledger compact results.jsonl --max-bytes 10000000
+    repro-stamp ledger merge merged.jsonl a.jsonl b.jsonl
 """
 
 from __future__ import annotations
@@ -194,6 +199,63 @@ def cmd_topology(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    # Imported lazily: figure commands never pay for the HTTP stack.
+    from repro.service.app import ServiceConfig, run_service
+    from repro.service.spec import ServiceLimits
+
+    journal = args.journal or f"{args.serve_ledger}.journal"
+    config = ServiceConfig(
+        journal_path=journal,
+        ledger_path=args.serve_ledger,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        limits=ServiceLimits(
+            max_instances=args.max_instances,
+            max_total_ases=args.max_total_ases,
+            max_retries=args.max_retries,
+            max_unit_timeout=args.max_unit_timeout,
+        ),
+    )
+    return run_service(args.host, args.port, config)
+
+
+def cmd_ledger(args) -> int:
+    from repro.errors import LedgerMergeError
+    from repro.experiments.ledger import ResultLedger, merge_ledgers
+
+    if args.ledger_command == "stats":
+        with ResultLedger(args.path) as ledger:
+            stats = ledger.stats()
+        for key in (
+            "path", "records", "file_bytes", "live_bytes",
+            "dropped_records", "salt", "oldest_ts", "newest_ts",
+        ):
+            print(f"{key:15s} {stats[key]}")
+        return 0
+    if args.ledger_command == "compact":
+        with ResultLedger(args.path) as ledger:
+            evicted = ledger.compact(
+                max_age_seconds=args.max_age_seconds,
+                max_bytes=args.max_bytes,
+            )
+            remaining = len(ledger)
+        print(f"evicted {evicted} record(s); {remaining} remain")
+        return 0
+    # merge
+    try:
+        summary = merge_ledgers(args.out, args.inputs)
+    except LedgerMergeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"merged {summary['records']} record(s) into {args.out} "
+        f"({summary['duplicates']} duplicate key(s) resolved "
+        f"last-write-wins)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -206,6 +268,8 @@ _COMMANDS = {
     "overhead": cmd_overhead,
     "delay": cmd_delay,
     "topology": cmd_topology,
+    "serve": cmd_serve,
+    "ledger": cmd_ledger,
 }
 
 
@@ -250,6 +314,75 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name)
         if name == "topology":
             command.add_argument("--out", default="as_graph.txt")
+        if name == "serve":
+            command.add_argument(
+                "--host", default="127.0.0.1", help="bind address"
+            )
+            command.add_argument(
+                "--port", type=int, default=8421,
+                help="bind port (0 picks a free one; the daemon prints "
+                     "the bound address either way)",
+            )
+            command.add_argument(
+                "--ledger", dest="serve_ledger", required=True,
+                metavar="PATH",
+                help="shared crash-safe result ledger all campaigns "
+                     "read and write (resume lives here)",
+            )
+            command.add_argument(
+                "--journal", default=None, metavar="PATH",
+                help="campaign journal path "
+                     "(default: <ledger>.journal)",
+            )
+            command.add_argument(
+                "--max-queue", type=int, default=8,
+                help="campaigns allowed to wait; beyond this "
+                     "submissions get 429 + Retry-After",
+            )
+            command.add_argument(
+                "--max-instances", type=int, default=1000,
+                help="per-campaign instance ceiling (400 beyond it)",
+            )
+            command.add_argument(
+                "--max-total-ases", type=int, default=20000,
+                help="per-campaign topology size ceiling",
+            )
+            command.add_argument(
+                "--max-retries", type=int, default=5,
+                help="ceiling a campaign's requested retries clamp to",
+            )
+            command.add_argument(
+                "--max-unit-timeout", type=float, default=900.0,
+                help="ceiling a campaign's unit_timeout clamps to",
+            )
+        if name == "ledger":
+            ledger_sub = command.add_subparsers(
+                dest="ledger_command", required=True
+            )
+            stats = ledger_sub.add_parser(
+                "stats", help="record counts, bytes, salt, timestamps"
+            )
+            stats.add_argument("path")
+            compact = ledger_sub.add_parser(
+                "compact",
+                help="rewrite atomically, dropping dead/expired records",
+            )
+            compact.add_argument("path")
+            compact.add_argument(
+                "--max-age-seconds", type=float, default=None,
+                help="evict records older than this",
+            )
+            compact.add_argument(
+                "--max-bytes", type=int, default=None,
+                help="evict oldest records until the file fits",
+            )
+            merge = ledger_sub.add_parser(
+                "merge",
+                help="combine ledgers from several machines "
+                     "(last-write-wins; refuses salt/version mismatches)",
+            )
+            merge.add_argument("out")
+            merge.add_argument("inputs", nargs="+", metavar="in")
         if name == "flap":
             command.add_argument(
                 "--period", type=float, default=40.0,

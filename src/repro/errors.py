@@ -59,3 +59,37 @@ class CampaignError(ReproError):
 
 class ParseError(ReproError):
     """A serialized topology or routing table could not be parsed."""
+
+
+class LedgerMergeError(ReproError):
+    """Two ledgers cannot be merged safely.
+
+    Raised when the inputs declare different ``LEDGER_SALT`` values or
+    contain records of a different format version — merging them would
+    produce a ledger whose keys silently mean different things.
+    """
+
+
+class ServiceError(ReproError):
+    """The campaign service was driven incorrectly.
+
+    Covers invalid lifecycle transitions (cancelling a finished
+    campaign, fetching the result of one still running) and journal
+    misuse; the HTTP layer maps these onto structured 4xx responses.
+    """
+
+
+class SpecValidationError(ServiceError):
+    """A submitted campaign spec failed validation.
+
+    ``details`` is a list of ``{"field": ..., "message": ...}`` dicts —
+    one entry per offending field — which the service returns verbatim
+    in the structured 400 response body.
+    """
+
+    def __init__(self, details) -> None:
+        message = "; ".join(
+            f"{d['field']}: {d['message']}" for d in details
+        ) or "invalid campaign spec"
+        super().__init__(message)
+        self.details = list(details)

@@ -9,8 +9,18 @@ ledger recomputes only what is missing.
 
 Format: one JSON object per line, ``\\n``-terminated::
 
+    {"v": 1, "kind": "header", "salt": "repro-unit-v1"}
     {"v": 1, "key": "<64 hex>", "payload": "<base64 pickle>",
-     "psha": "<sha256 hex of the pickle bytes>"}
+     "psha": "<sha256 hex of the pickle bytes>", "ts": 1727000000.123}
+
+The first line of a ledger created by this module is a *header*
+declaring the :data:`~repro.experiments.canonical.LEDGER_SALT` its
+keys were derived under — the cross-machine merge tool refuses to
+combine ledgers whose headers disagree.  ``ts`` (seconds since the
+epoch, recorded at append time) feeds the age/size-bounded GC
+policies of :meth:`ResultLedger.compact`.  Ledgers written before
+these fields existed (no header, no ``ts``) still load: a missing
+header means "salt unknown" and a missing ``ts`` sorts as oldest.
 
 Durability and recovery rules:
 
@@ -43,10 +53,12 @@ import json
 import logging
 import os
 import pickle
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.experiments.canonical import sha256_hex
+from repro.errors import LedgerMergeError
+from repro.experiments.canonical import LEDGER_SALT, sha256_hex
 
 logger = logging.getLogger("repro.experiments.ledger")
 
@@ -67,6 +79,12 @@ class ResultLedger:
         self.path = Path(path)
         #: key -> raw pickle bytes of the most recent record (last wins).
         self._records: Dict[str, bytes] = {}
+        #: key -> append timestamp of the winning record (0.0 when the
+        #: record predates the ``ts`` field — sorts as oldest).
+        self._ts: Dict[str, float] = {}
+        #: Salt declared by the file's header record, or ``None`` for a
+        #: headerless (pre-header-format) ledger.
+        self.salt: Optional[str] = None
         #: Records dropped by the last load (torn/corrupt).
         self.dropped_records = 0
         self._fd: Optional[int] = None
@@ -77,6 +95,8 @@ class ResultLedger:
     def load(self) -> None:
         """(Re)build the index from disk, skipping torn/corrupt records."""
         self._records.clear()
+        self._ts.clear()
+        self.salt = None
         self.dropped_records = 0
         if not self.path.exists():
             return
@@ -91,17 +111,41 @@ class ResultLedger:
                 continue
             record = self._parse_record(line, lineno, torn=(lineno == len(lines)))
             if record is not None:
-                key, payload = record
+                key, payload, ts = record
                 self._records[key] = payload
+                self._ts[key] = ts
 
     def _parse_record(self, line, lineno, torn):
-        """Validate one line; return ``(key, payload)`` or ``None``."""
+        """Validate one line; return ``(key, payload, ts)`` or ``None``.
+
+        Header records set :attr:`salt` as a side effect and return
+        ``None`` without counting as dropped.
+        """
         where = "torn trailing" if torn else "corrupt"
         try:
             obj = json.loads(line)
         except ValueError:
             logger.warning(
                 "%s: skipping %s record at line %d (unparseable JSON)",
+                self.path, where, lineno,
+            )
+            self.dropped_records += 1
+            return None
+        if isinstance(obj, dict) and obj.get("kind") == "header":
+            if obj.get("v") == _RECORD_VERSION and isinstance(
+                obj.get("salt"), str
+            ):
+                if self.salt is None:
+                    self.salt = obj["salt"]
+                    if self.salt != LEDGER_SALT:
+                        logger.warning(
+                            "%s: ledger salt %r differs from the current "
+                            "%r; its keys will miss and recompute",
+                            self.path, self.salt, LEDGER_SALT,
+                        )
+                return None
+            logger.warning(
+                "%s: skipping %s header at line %d (missing/invalid fields)",
                 self.path, where, lineno,
             )
             self.dropped_records += 1
@@ -135,7 +179,10 @@ class ResultLedger:
             )
             self.dropped_records += 1
             return None
-        return obj["key"], payload
+        ts = obj.get("ts")
+        if not isinstance(ts, (int, float)):
+            ts = 0.0
+        return obj["key"], payload, float(ts)
 
     # -- lookups -------------------------------------------------------
 
@@ -161,6 +208,13 @@ class ResultLedger:
                 self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
             )
             self._seal_torn_tail(self._fd)
+            # A brand-new ledger starts with a header naming the salt
+            # its keys were derived under (the merge tool's safety
+            # check).  Two writers racing on creation may both append
+            # one — duplicates are recognized and harmless on load.
+            if os.fstat(self._fd).st_size == 0:
+                os.write(self._fd, self.encode_header())
+                self.salt = LEDGER_SALT
         return self._fd
 
     def _seal_torn_tail(self, fd: int) -> None:
@@ -186,7 +240,15 @@ class ResultLedger:
             os.fsync(fd)
 
     @staticmethod
-    def encode_record(key: str, payload: bytes) -> bytes:
+    def encode_header(salt: str = LEDGER_SALT) -> bytes:
+        """The ledger's first line: the salt its keys were derived under."""
+        obj = {"v": _RECORD_VERSION, "kind": "header", "salt": salt}
+        return (json.dumps(obj, sort_keys=True) + "\n").encode("ascii")
+
+    @staticmethod
+    def encode_record(
+        key: str, payload: bytes, ts: Optional[float] = None
+    ) -> bytes:
         """One complete JSONL record (newline-terminated) for ``key``."""
         obj = {
             "v": _RECORD_VERSION,
@@ -194,6 +256,8 @@ class ResultLedger:
             "payload": base64.b64encode(payload).decode("ascii"),
             "psha": sha256_hex(payload),
         }
+        if ts is not None:
+            obj["ts"] = ts
         return (json.dumps(obj, sort_keys=True) + "\n").encode("ascii")
 
     def put(self, key: str, value: Any) -> None:
@@ -205,11 +269,13 @@ class ResultLedger:
         never interleave within a record.
         """
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        line = self.encode_record(key, payload)
+        ts = time.time()
+        line = self.encode_record(key, payload, ts)
         fd = self._ensure_fd()
         os.write(fd, line)
         os.fsync(fd)
         self._records[key] = payload
+        self._ts[key] = ts
 
     def close(self) -> None:
         if self._fd is not None:
@@ -224,21 +290,63 @@ class ResultLedger:
 
     # -- maintenance ---------------------------------------------------
 
-    def compact(self) -> None:
-        """Atomically rewrite the ledger to its deduplicated live records.
+    def compact(
+        self,
+        *,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Atomically rewrite the ledger; optionally GC old/excess records.
 
-        Drops superseded duplicates and any torn/corrupt lines.  The
-        replacement is written to a temporary sibling, fsynced, and
+        Always drops superseded duplicates and any torn/corrupt lines.
+        With ``max_age_seconds`` set, records appended longer ago than
+        that are evicted (records predating the ``ts`` field count as
+        infinitely old).  With ``max_bytes`` set, records are evicted
+        oldest-first until the rewritten file fits the bound (the
+        newest records always survive; a bound smaller than one record
+        plus the header empties the ledger).  Both bounds compose.
+
+        The replacement is written to a temporary sibling, fsynced, and
         ``os.replace``d over the ledger, then the directory entry is
         fsynced — a crash at any instant leaves either the old or the
-        new complete file.
+        new complete file.  Returns the number of evicted records.
         """
+        now = time.time() if now is None else now
+        survivors: List[Tuple[str, bytes, float]] = [
+            (key, payload, self._ts.get(key, 0.0))
+            for key, payload in self._records.items()
+        ]
+        if max_age_seconds is not None:
+            cutoff = now - max_age_seconds
+            survivors = [rec for rec in survivors if rec[2] >= cutoff]
+        encoded = [
+            (key, self.encode_record(key, payload, ts or None), ts)
+            for key, payload, ts in survivors
+        ]
+        if max_bytes is not None:
+            total = len(self.encode_header()) + sum(
+                len(line) for _, line, _ in encoded
+            )
+            # Oldest first: ties broken by append order (dict order).
+            by_age = sorted(
+                range(len(encoded)), key=lambda i: (encoded[i][2], i)
+            )
+            evict = set()
+            for i in by_age:
+                if total <= max_bytes:
+                    break
+                total -= len(encoded[i][1])
+                evict.add(i)
+            encoded = [rec for i, rec in enumerate(encoded) if i not in evict]
+        evicted = len(self._records) - len(encoded)
         self.close()
         tmp = self.path.with_name(self.path.name + ".tmp")
         fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            for key, payload in self._records.items():
-                os.write(fd, self.encode_record(key, payload))
+            os.write(fd, self.encode_header(self.salt or LEDGER_SALT))
+            for _, line, _ in encoded:
+                os.write(fd, line)
             os.fsync(fd)
         finally:
             os.close(fd)
@@ -248,4 +356,138 @@ class ResultLedger:
             os.fsync(dir_fd)
         finally:
             os.close(dir_fd)
+        kept = {key for key, _, _ in encoded}
+        for key in list(self._records):
+            if key not in kept:
+                del self._records[key]
+                self._ts.pop(key, None)
+        self.salt = self.salt or LEDGER_SALT
         self.dropped_records = 0
+        return evicted
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational summary: live records, bytes, salt, age span."""
+        try:
+            file_bytes = self.path.stat().st_size
+        except OSError:
+            file_bytes = 0
+        live_bytes = sum(
+            len(self.encode_record(key, payload, self._ts.get(key) or None))
+            for key, payload in self._records.items()
+        )
+        stamps = [ts for ts in self._ts.values() if ts > 0.0]
+        return {
+            "path": str(self.path),
+            "records": len(self._records),
+            "file_bytes": file_bytes,
+            "live_bytes": live_bytes,
+            "dropped_records": self.dropped_records,
+            "salt": self.salt,
+            "oldest_ts": min(stamps) if stamps else None,
+            "newest_ts": max(stamps) if stamps else None,
+        }
+
+
+# ----------------------------------------------------------------------
+# Cross-machine merge
+# ----------------------------------------------------------------------
+
+
+def merge_ledgers(
+    out_path: Union[str, Path], in_paths: Sequence[Union[str, Path]]
+) -> Dict[str, int]:
+    """Merge ledgers into one, last-write-wins on duplicate keys.
+
+    Inputs are processed in argument order and, within a file, in line
+    order — so a key appearing in several places resolves to the most
+    recent record of the *last* input naming it, matching the ledger's
+    own duplicate policy.  Torn/corrupt lines are skipped with a
+    warning, exactly as :meth:`ResultLedger.load` would.
+
+    Safety: the merge **refuses** (:class:`~repro.errors
+    .LedgerMergeError`) inputs whose headers declare different
+    ``LEDGER_SALT`` values, and any record of a different format
+    version — both would produce a ledger whose keys silently mean
+    different things.  Headerless (legacy) inputs are compatible with
+    anything; the output always carries a header.
+
+    The output is written atomically (temp sibling + fsync +
+    ``os.replace`` + directory fsync), so it may safely be one of the
+    inputs.  Returns counts: ``records`` (live keys written),
+    ``duplicates`` (records superseded during the merge), ``skipped``
+    (torn/corrupt lines ignored).
+    """
+    out_path = Path(out_path)
+    merged: Dict[str, Tuple[bytes, float]] = {}
+    salts: Dict[str, str] = {}
+    duplicates = 0
+    skipped = 0
+    for in_path in in_paths:
+        ledger = ResultLedger.__new__(ResultLedger)
+        ledger.path = Path(in_path)
+        ledger._records = {}
+        ledger._ts = {}
+        ledger.salt = None
+        ledger.dropped_records = 0
+        ledger._fd = None
+        if not ledger.path.exists():
+            raise LedgerMergeError(f"input ledger does not exist: {in_path}")
+        _refuse_version_mismatch(ledger.path)
+        ledger.load()
+        if ledger.salt is not None:
+            salts[str(in_path)] = ledger.salt
+            if len(set(salts.values())) > 1:
+                detail = ", ".join(
+                    f"{p}: {s!r}" for p, s in sorted(salts.items())
+                )
+                raise LedgerMergeError(
+                    f"input ledgers declare different salts ({detail}); "
+                    "their keys are not comparable"
+                )
+        skipped += ledger.dropped_records
+        for key, payload in ledger._records.items():
+            if key in merged:
+                duplicates += 1
+            merged[key] = (payload, ledger._ts.get(key, 0.0))
+    salt = next(iter(salts.values()), LEDGER_SALT)
+    tmp = out_path.with_name(out_path.name + ".tmp")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, ResultLedger.encode_header(salt))
+        for key, (payload, ts) in merged.items():
+            os.write(fd, ResultLedger.encode_record(key, payload, ts or None))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, out_path)
+    dir_fd = os.open(out_path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return {
+        "records": len(merged), "duplicates": duplicates, "skipped": skipped
+    }
+
+
+def _refuse_version_mismatch(path: Path) -> None:
+    """Abort the merge if any parseable record has a foreign version.
+
+    A plain load *skips* such records (a miss only costs a recompute);
+    a merge must not — silently dropping another version's records
+    from the combined ledger would look like data loss.
+    """
+    for line in path.read_bytes().split(b"\n"):
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # torn/corrupt: the load pass warns and skips
+        if isinstance(obj, dict) and "v" in obj and obj["v"] != _RECORD_VERSION:
+            raise LedgerMergeError(
+                f"{path}: contains record version {obj['v']!r} "
+                f"(this tool writes version {_RECORD_VERSION}); refusing "
+                "to merge across format versions"
+            )

@@ -79,10 +79,14 @@ class CampaignOutcome:
     failures: List[UnitFailure] = field(default_factory=list)
     executed: int = 0
     ledger_hits: int = 0
+    #: True when a cooperative stop interrupted the grid: the unrun
+    #: units are simply absent from ``runs`` (no failure records), and
+    #: a rerun with the same ledger recomputes exactly them.
+    stopped: bool = False
 
     @property
     def complete(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.stopped
 
 
 @dataclass(frozen=True)
@@ -115,13 +119,23 @@ class ParallelRunner:
         )
 
     def run_units_supervised(
-        self, graph: ASGraph, units: Sequence[WorkUnit]
+        self,
+        graph: ASGraph,
+        units: Sequence[WorkUnit],
+        *,
+        stop_event=None,
+        on_progress=None,
     ) -> SupervisedOutcome:
         """Run all units under supervision; never raises for unit faults.
 
         The returned outcome's ``results`` list matches the unit order
         (``None`` for terminal failures, which are classified in
-        ``failures``).
+        ``failures``).  ``stop_event`` (a ``threading.Event``) requests
+        a cooperative stop from another thread — dispatch halts,
+        in-flight units drain to the results and the ledger, and the
+        outcome comes back partial with ``stopped=True``.
+        ``on_progress`` is called as ``on_progress(resolved, total)``
+        after the ledger preload and every unit resolution.
         """
         units = list(units)
         ledger = keys = None
@@ -140,6 +154,8 @@ class ParallelRunner:
                 policy=self._policy(),
                 ledger=ledger,
                 unit_keys=keys,
+                stop_event=stop_event,
+                on_progress=on_progress,
             )
             return supervisor.run()
         finally:
@@ -172,6 +188,9 @@ class ParallelRunner:
         n_instances: int,
         protocols: Sequence[str],
         graph: ASGraph,
+        *,
+        stop_event=None,
+        on_progress=None,
     ) -> CampaignOutcome:
         """All (instance, protocol) runs of one figure or campaign.
 
@@ -188,7 +207,9 @@ class ParallelRunner:
             for instance in range(n_instances)
             for protocol in protocols
         ]
-        outcome = self.run_units_supervised(graph, units)
+        outcome = self.run_units_supervised(
+            graph, units, stop_event=stop_event, on_progress=on_progress
+        )
         runs: Dict[str, List[ProtocolRun]] = {p: [] for p in protocols}
         for (_, _, _, _, protocol), run in zip(units, outcome.results):
             if run is not None:
@@ -198,4 +219,5 @@ class ParallelRunner:
             failures=outcome.failures,
             executed=outcome.executed,
             ledger_hits=outcome.ledger_hits,
+            stopped=outcome.stopped,
         )

@@ -42,6 +42,7 @@ import gc
 import logging
 import multiprocessing
 import random
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -192,10 +193,18 @@ class SupervisedOutcome:
     failures: List[UnitFailure] = field(default_factory=list)
     executed: int = 0
     ledger_hits: int = 0
+    #: True when a cooperative stop (:meth:`Supervisor.request_stop`
+    #: or an external ``stop_event``) interrupted the grid with units
+    #: still unresolved.  Every completed result — including those
+    #: that were in flight when the stop arrived — is present in
+    #: ``results`` (and in the ledger, when one is attached); the
+    #: interrupted units are simply ``None`` without a failure record,
+    #: so a rerun recomputes exactly them.
+    stopped: bool = False
 
     @property
     def complete(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.stopped
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +276,8 @@ class Supervisor:
         policy: Optional[RetryPolicy] = None,
         ledger: Optional[ResultLedger] = None,
         unit_keys: Optional[Sequence[str]] = None,
+        stop_event: Optional[threading.Event] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self._graph = graph
         self._units: List[WorkUnit] = list(units)
@@ -291,6 +302,37 @@ class Supervisor:
         self._workers: List[_Worker] = []
         self._payload: Optional[bytes] = None
         self._spawn_failed = False
+        #: Cooperative interrupt: settable from any thread (a SIGTERM
+        #: handler, the service's cancel endpoint).  Once set, no new
+        #: unit is dispatched; in-flight attempts drain normally and
+        #: their results are completed (and ledgered) before the run
+        #: returns a partial outcome.
+        self._stop = stop_event if stop_event is not None else threading.Event()
+        self._on_progress = on_progress
+
+    # -- cooperative stop ----------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the running grid to wind down (thread/signal-safe).
+
+        Equivalent to setting the ``stop_event`` passed at
+        construction: dispatch stops immediately, in-flight units run
+        to completion and are drained to the results (and the ledger),
+        and :meth:`run` returns a partial outcome with
+        ``stopped=True``.  Already-completed units are never lost.
+        """
+        self._stop.set()
+
+    def _stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def _notify_progress(self) -> None:
+        if self._on_progress is None:
+            return
+        try:
+            self._on_progress(sum(self._resolved), len(self._resolved))
+        except Exception:
+            logger.exception("progress callback raised; continuing")
 
     # -- bookkeeping ---------------------------------------------------
 
@@ -306,6 +348,7 @@ class Supervisor:
         self._executed += 1
         if self._ledger is not None and self._keys is not None:
             self._ledger.put(self._keys[index], result)
+        self._notify_progress()
 
     def _attempt_failed(self, index: int, cause: str, detail: str) -> None:
         if self._resolved[index]:
@@ -325,6 +368,7 @@ class Supervisor:
             self._failures.append(failure)
             self._resolved[index] = True
             logger.warning("terminal failure: %s", failure.describe())
+            self._notify_progress()
         else:
             retry = len(records)  # 1-based retry ordinal
             delay = (
@@ -559,6 +603,7 @@ class Supervisor:
             failures=self._failures,
             executed=self._executed,
             ledger_hits=self._ledger_hits,
+            stopped=self._stop_requested() and not all(self._resolved),
         )
 
     def _run_pool(self) -> None:
@@ -567,8 +612,15 @@ class Supervisor:
             while self._pending or any(
                 w.assignment is not None for w in self._workers
             ):
-                self._dispatch()
+                stopping = self._stop_requested()
+                if not stopping:
+                    self._dispatch()
                 busy = [w for w in self._workers if w.assignment is not None]
+                if stopping and not busy:
+                    # Every in-flight unit has drained (completed and,
+                    # with a ledger attached, persisted); the rest of
+                    # the grid is left unresolved for a resume.
+                    break
                 if not busy:
                     if not self._pending:
                         break
@@ -579,7 +631,9 @@ class Supervisor:
                         # Dispatch will spawn/assign next pass.
                         continue
                     if backoff is not None:
-                        time.sleep(max(0.0, backoff - time.monotonic()))
+                        # Event.wait, not sleep: a stop request cuts
+                        # the backoff pause short.
+                        self._stop.wait(max(0.0, backoff - time.monotonic()))
                     continue
                 watch: Dict[object, _Worker] = {}
                 for worker in busy:
@@ -610,11 +664,18 @@ class Supervisor:
         try:
             with _cyclic_gc_paused():
                 while self._pending:
+                    if self._stop_requested():
+                        # Between units is the only interruption point
+                        # on this path (an attempt cannot be unwound);
+                        # everything already completed stays completed.
+                        break
                     now = time.monotonic()
                     index = self._next_eligible(now)
                     if index is None:
                         earliest = self._earliest_backoff()
-                        time.sleep(max(0.0, earliest - now))
+                        # Event.wait, not sleep: a stop request cuts
+                        # the backoff pause short.
+                        self._stop.wait(max(0.0, earliest - now))
                         continue
                     self._run_attempt_inprocess(index)
         finally:
@@ -623,8 +684,16 @@ class Supervisor:
             clear_twin_start_cache()
 
     def run(self) -> SupervisedOutcome:
-        """Execute every unit; never raises for unit-level failures."""
+        """Execute every unit; never raises for unit-level failures.
+
+        A cooperative stop (see :meth:`request_stop`) returns early
+        with ``stopped=True`` on the outcome: completed units (and the
+        structured failures so far) are all present, unrun units are
+        ``None``, and a rerun — same grid, same ledger — recomputes
+        exactly the remainder.
+        """
         self._preload_from_ledger()
+        self._notify_progress()
         if not self._pending:
             return self._outcome()
         if self._target_workers >= 2 and len(self._pending) > 1:

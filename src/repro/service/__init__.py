@@ -1,0 +1,54 @@
+"""Campaign-as-a-service: the long-lived experiment daemon.
+
+`repro-stamp serve` wraps the supervised pool + result ledger behind a
+small HTTP API (submit/status/result/cancel) with crash recovery via
+an append-only journal, idempotent content-hash submission, bounded
+admission, and graceful drain on SIGTERM.  See ``docs/service.md``.
+"""
+
+from repro.service.app import (
+    CampaignHTTPServer,
+    CampaignService,
+    QueueFullError,
+    ResultNotReadyError,
+    ServiceConfig,
+    ShuttingDownError,
+    UnknownCampaignError,
+    build_result_document,
+    run_service,
+)
+from repro.service.journal import CampaignJournal
+from repro.service.spec import CampaignSpec, ServiceLimits
+from repro.service.state import (
+    CANCELLED,
+    Campaign,
+    DONE,
+    FAILED,
+    PARTIAL,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignHTTPServer",
+    "CampaignJournal",
+    "CampaignService",
+    "CampaignSpec",
+    "QueueFullError",
+    "ResultNotReadyError",
+    "ServiceConfig",
+    "ServiceLimits",
+    "ShuttingDownError",
+    "UnknownCampaignError",
+    "build_result_document",
+    "run_service",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "PARTIAL",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+]

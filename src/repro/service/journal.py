@@ -1,0 +1,224 @@
+"""Crash-safe campaign journal: the service's source of truth on disk.
+
+The daemon journals every externally visible lifecycle fact *before*
+acknowledging it — a campaign is journaled ``submitted`` before the
+202 goes out, every state transition is journaled as it happens, and
+the final ``done``/``partial`` record carries the canonical result
+document.  After any crash — ``kill -9`` included — a restarted
+service replays the journal and knows every campaign ever accepted,
+its last state, and its result if it finished; campaigns that were
+queued or running resume (their completed units are already in the
+shared result ledger, so only the missing units recompute).
+
+The file discipline is exactly the result ledger's
+(:mod:`repro.experiments.ledger`): one JSON object per line, each
+append a single ``os.write`` on an ``O_APPEND`` descriptor followed by
+``fsync``; a torn trailing line (crash mid-append) is sealed with a
+newline before the first new append and skipped with a warning on
+replay; corrupt interior lines are likewise skipped.  Each line is
+``{"v": 1, "body": {...}, "sha": sha256(canonical_json(body))}`` — the
+digest catches bit rot the same way the ledger's ``psha`` does.
+
+Record bodies (``body["event"]``):
+
+* ``submitted`` — ``{"event", "id", "spec", "ts"}``; ``spec`` is the
+  canonical defaults-filled document the id hashes.
+* ``state`` — ``{"event", "id", "state", "ts"}`` plus, on terminal
+  records, ``"executed"``, ``"ledger_hits"``, ``"failures"`` and (for
+  ``done``/``partial``) ``"result"``: the result document.
+* ``checkpoint`` — ``{"event", "ts", "reason"}``; written by graceful
+  shutdown after the drain, so an operator can see clean stops in the
+  journal.  Replay ignores it for state.
+
+Replay folds records in file order: last state wins, exactly one
+``submitted`` per id counts (duplicates are impossible through the
+service API, which journals only the first), unknown-id state records
+are skipped with a warning.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.canonical import canonical_bytes, canonical_json, sha256_hex
+
+logger = logging.getLogger("repro.service.journal")
+
+_JOURNAL_VERSION = 1
+
+#: Events replay folds into campaign state.
+_STATE_EVENTS = frozenset({"submitted", "state"})
+
+
+class CampaignJournal:
+    """Append-only, fsynced journal of campaign lifecycle records."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+
+    # -- appends -------------------------------------------------------
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+            self._seal_torn_tail(self._fd)
+        return self._fd
+
+    def _seal_torn_tail(self, fd: int) -> None:
+        """Newline-terminate a torn tail so new appends stay parseable."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                last = handle.read(1)
+        except OSError:
+            return
+        if last != b"\n":
+            os.write(fd, b"\n")
+            os.fsync(fd)
+
+    @staticmethod
+    def encode_record(body: Dict[str, Any]) -> bytes:
+        """One complete journal line for ``body`` (digest included)."""
+        sha = sha256_hex(canonical_bytes(body))
+        line = canonical_json(
+            {"v": _JOURNAL_VERSION, "body": body, "sha": sha}
+        )
+        return (line + "\n").encode("ascii")
+
+    def append(self, body: Dict[str, Any]) -> None:
+        """Durably append one record; returns only after ``fsync``."""
+        line = self.encode_record(body)
+        fd = self._ensure_fd()
+        os.write(fd, line)
+        os.fsync(fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> Tuple[Dict[str, Dict[str, Any]], int]:
+        """Reconstruct every campaign's last journaled state.
+
+        Returns ``(campaigns, dropped)``: an insertion-ordered dict
+        ``id -> {"spec", "state", "ts", "result", "executed",
+        "ledger_hits", "failures", "error"}`` (fields beyond ``spec``/
+        ``state`` present when the winning records carried them), and
+        the count of torn/corrupt lines skipped.
+        """
+        campaigns: Dict[str, Dict[str, Any]] = {}
+        dropped = 0
+        if not self.path.exists():
+            return campaigns, dropped
+        data = self.path.read_bytes()
+        lines = data.split(b"\n")
+        for lineno, line in enumerate(lines, start=1):
+            if not line:
+                continue
+            body = self._parse_line(line, lineno, torn=(lineno == len(lines)))
+            if body is None:
+                dropped += 1
+                continue
+            event = body.get("event")
+            if event == "submitted":
+                cid = body.get("id")
+                spec = body.get("spec")
+                if not isinstance(cid, str) or not isinstance(spec, dict):
+                    logger.warning(
+                        "%s: malformed submitted record at line %d",
+                        self.path, lineno,
+                    )
+                    dropped += 1
+                    continue
+                entry = campaigns.setdefault(
+                    cid, {"spec": spec, "state": "queued"}
+                )
+                entry["spec"] = spec
+                entry.setdefault("ts", body.get("ts"))
+            elif event == "state":
+                cid = body.get("id")
+                state = body.get("state")
+                if not isinstance(cid, str) or not isinstance(state, str):
+                    logger.warning(
+                        "%s: malformed state record at line %d",
+                        self.path, lineno,
+                    )
+                    dropped += 1
+                    continue
+                entry = campaigns.get(cid)
+                if entry is None:
+                    logger.warning(
+                        "%s: state record for unknown campaign %s at "
+                        "line %d; skipping", self.path, cid[:12], lineno,
+                    )
+                    dropped += 1
+                    continue
+                entry["state"] = state
+                entry["ts"] = body.get("ts", entry.get("ts"))
+                for field in (
+                    "result", "executed", "ledger_hits", "failures", "error"
+                ):
+                    if field in body:
+                        entry[field] = body[field]
+            elif event == "checkpoint":
+                continue
+            else:
+                logger.warning(
+                    "%s: unknown event %r at line %d; skipping",
+                    self.path, event, lineno,
+                )
+                dropped += 1
+        return campaigns, dropped
+
+    def _parse_line(self, line: bytes, lineno: int, torn: bool):
+        where = "torn trailing" if torn else "corrupt"
+        try:
+            record = json.loads(line)
+        except ValueError:
+            logger.warning(
+                "%s: skipping %s record at line %d (unparseable JSON)",
+                self.path, where, lineno,
+            )
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("v") != _JOURNAL_VERSION
+            or not isinstance(record.get("body"), dict)
+            or not isinstance(record.get("sha"), str)
+        ):
+            logger.warning(
+                "%s: skipping %s record at line %d (missing/invalid fields)",
+                self.path, where, lineno,
+            )
+            return None
+        body = record["body"]
+        try:
+            digest = sha256_hex(canonical_bytes(body))
+        except Exception:
+            digest = None
+        if digest != record["sha"]:
+            logger.warning(
+                "%s: skipping %s record at line %d (body digest mismatch)",
+                self.path, where, lineno,
+            )
+            return None
+        return body

@@ -1,0 +1,140 @@
+"""Campaign lifecycle state machine and the in-memory campaign record.
+
+A campaign moves through a small, explicitly validated state machine::
+
+    queued ──▶ running ──▶ done        (complete, result available)
+      │           │  ├───▶ partial     (finished; some units failed)
+      │           │  ├───▶ failed      (campaign-level error)
+      │           │  └───▶ cancelled   (client cancel drained in-flight)
+      │           └──────▶ queued      (requeued: shutdown or restart)
+      └──────────────────▶ cancelled   (cancelled while still queued)
+
+    cancelled ──▶ queued               (resubmitted: a fresh attempt)
+    failed ─────▶ queued               (resubmitted: a fresh attempt)
+
+``done`` and ``partial`` are frozen: their result document is journaled
+and resubmitting the same spec returns it without re-executing
+(idempotency).  ``failed`` and ``cancelled`` may be *requeued* by
+resubmission — the campaign id stays the same, and any units completed
+before the failure/cancel are answered from the shared result ledger.
+``running -> queued`` is the graceful-shutdown/crash-recovery edge: the
+interrupted campaign re-enters the queue and resumes where the ledger
+says it left off.
+
+Every transition goes through :func:`advance`, which raises
+:class:`~repro.errors.ServiceError` on anything not listed above — a
+lifecycle bug becomes a loud error, never silent state corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+PARTIAL = "partial"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a campaign never leaves on its own.
+TERMINAL_STATES = frozenset({DONE, PARTIAL, FAILED, CANCELLED})
+
+#: States from which resubmission starts a fresh attempt.
+REQUEUEABLE_STATES = frozenset({FAILED, CANCELLED})
+
+_TRANSITIONS = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, PARTIAL, FAILED, CANCELLED, QUEUED}),
+    DONE: frozenset(),
+    PARTIAL: frozenset(),
+    FAILED: frozenset({QUEUED}),
+    CANCELLED: frozenset({QUEUED}),
+}
+
+
+def advance(current: str, new: str) -> str:
+    """Validate one lifecycle transition; return the new state."""
+    allowed = _TRANSITIONS.get(current)
+    if allowed is None:
+        raise ServiceError(f"unknown campaign state {current!r}")
+    if new not in allowed:
+        raise ServiceError(
+            f"invalid campaign transition {current!r} -> {new!r}"
+        )
+    return new
+
+
+@dataclass
+class Campaign:
+    """One submitted campaign: spec identity plus live execution state.
+
+    ``spec_document`` is the canonical (defaults-filled) spec the id
+    was hashed from — the journal stores exactly this document, so a
+    recovered service re-derives the identical id.  ``result_json`` is
+    the canonical-JSON result document, set exactly once when the
+    campaign reaches ``done``/``partial`` and served byte-identically
+    ever after (including across restarts, via the journal).
+    """
+
+    campaign_id: str
+    spec_document: Dict[str, Any]
+    state: str = QUEUED
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    total_units: int = 0
+    resolved_units: int = 0
+    executed: int = 0
+    ledger_hits: int = 0
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    result_json: Optional[str] = None
+    error: Optional[str] = None
+    #: Set by cancel/shutdown; the supervisor watches it cooperatively.
+    stop_event: threading.Event = field(default_factory=threading.Event)
+    #: True when the stop was a client cancel (vs a server shutdown).
+    cancel_requested: bool = False
+
+    def advance(self, new_state: str, *, at: float) -> None:
+        self.state = advance(self.state, new_state)
+        self.updated_at = at
+
+    def reset_for_requeue(self) -> None:
+        """Prepare a fresh attempt (resubmit of failed/cancelled)."""
+        self.stop_event = threading.Event()
+        self.cancel_requested = False
+        self.resolved_units = 0
+        self.executed = 0
+        self.ledger_hits = 0
+        self.failures = []
+        self.error = None
+
+    def status_document(
+        self, *, queue_position: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """The JSON body of ``GET /campaigns/{id}``."""
+        doc: Dict[str, Any] = {
+            "id": self.campaign_id,
+            "state": self.state,
+            "spec": self.spec_document,
+            "submitted_at": self.submitted_at,
+            "updated_at": self.updated_at,
+            "progress": {
+                "total_units": self.total_units,
+                "resolved_units": self.resolved_units,
+                "failed_units": len(self.failures),
+            },
+            "executed": self.executed,
+            "ledger_hits": self.ledger_hits,
+            "failures": self.failures,
+        }
+        if queue_position is not None:
+            doc["queue_position"] = queue_position
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.cancel_requested and self.state == RUNNING:
+            doc["cancelling"] = True
+        return doc

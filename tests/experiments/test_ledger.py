@@ -63,10 +63,35 @@ class TestRoundTrip:
         data = path.read_bytes()
         assert data.endswith(b"\n")
         lines = data.decode("ascii").splitlines()
-        assert len(lines) == 3
-        for line in lines:
+        assert len(lines) == 4  # salt header + one line per record
+        header = json.loads(lines[0])
+        assert set(header) == {"v", "kind", "salt"}
+        assert header["kind"] == "header"
+        for line in lines[1:]:
             record = json.loads(line)
-            assert set(record) == {"v", "key", "payload", "psha"}
+            assert set(record) == {"v", "key", "payload", "psha", "ts"}
+
+    def test_new_ledger_declares_the_current_salt(self, tmp_path):
+        from repro.experiments.canonical import LEDGER_SALT
+
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            ledger.put("a", 1)
+            assert ledger.salt == LEDGER_SALT
+        with ResultLedger(path) as reopened:
+            assert reopened.salt == LEDGER_SALT
+            assert reopened.dropped_records == 0
+
+    def test_headerless_legacy_ledger_still_loads(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        payload = ResultLedger.encode_record(
+            "legacy", b"\x80\x04K\x01."  # pickle of 1, no ts field
+        )
+        path.write_bytes(payload)
+        with ResultLedger(path) as ledger:
+            assert ledger.salt is None
+            assert ledger.get("legacy") == 1
+            assert ledger.dropped_records == 0
 
 
 class TestTornAndCorruptRecords:
@@ -107,9 +132,9 @@ class TestTornAndCorruptRecords:
         with ResultLedger(path) as ledger:
             _fill(ledger, 3)
         lines = path.read_bytes().splitlines(keepends=True)
-        record = json.loads(lines[1])
+        record = json.loads(lines[2])  # lines[0] is the salt header
         record["payload"] = record["payload"][:-8] + "AAAAAAA="  # bit rot
-        lines[1] = (json.dumps(record) + "\n").encode("ascii")
+        lines[2] = (json.dumps(record) + "\n").encode("ascii")
         path.write_bytes(b"".join(lines))
         with caplog.at_level(logging.WARNING, "repro.experiments.ledger"):
             reopened = ResultLedger(path)
@@ -159,7 +184,8 @@ class TestDuplicateKeys:
         ledger.put("k", "new")
         ledger.put("other", 1)
         ledger.compact()
-        assert len(path.read_bytes().splitlines()) == 2
+        # Salt header + the two live records.
+        assert len(path.read_bytes().splitlines()) == 3
         with ResultLedger(path) as reopened:
             assert reopened.get("k") == "new"
             assert reopened.get("other") == 1
@@ -196,6 +222,217 @@ class TestCompaction:
         with ResultLedger(tmp_path / "ledger.jsonl") as reopened:
             assert reopened.get("a") == 1
             assert reopened.get("b") == 2
+
+
+class TestGCBounds:
+    """The age/size eviction policies of :meth:`ResultLedger.compact`."""
+
+    def test_max_age_evicts_only_expired_records(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "ledger.jsonl"
+        chunks = [ResultLedger.encode_header()]
+        for key, ts in (("old", 100.0), ("mid", 500.0), ("new", 900.0)):
+            chunks.append(
+                ResultLedger.encode_record(key, pickle.dumps(key), ts)
+            )
+        path.write_bytes(b"".join(chunks))
+        with ResultLedger(path) as ledger:
+            evicted = ledger.compact(max_age_seconds=600.0, now=1000.0)
+            assert evicted == 1
+            assert "old" not in ledger
+            assert ledger.get("mid") == "mid"
+            assert ledger.get("new") == "new"
+        with ResultLedger(path) as reopened:
+            assert sorted(reopened.keys()) == ["mid", "new"]
+
+    def test_legacy_records_without_ts_count_as_oldest(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "ledger.jsonl"
+        path.write_bytes(
+            ResultLedger.encode_header()
+            + ResultLedger.encode_record("legacy", pickle.dumps(1))  # no ts
+            + ResultLedger.encode_record("stamped", pickle.dumps(2), 1500.0)
+        )
+        with ResultLedger(path) as ledger:
+            evicted = ledger.compact(max_age_seconds=1000.0, now=2000.0)
+            assert evicted == 1
+            assert "legacy" not in ledger
+            assert ledger.get("stamped") == 2
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "ledger.jsonl"
+        chunks = [ResultLedger.encode_header()]
+        lines = {}
+        for i, key in enumerate(("a", "b", "c", "d")):
+            line = ResultLedger.encode_record(
+                key, pickle.dumps(key), 100.0 * (i + 1)
+            )
+            lines[key] = line
+            chunks.append(line)
+        path.write_bytes(b"".join(chunks))
+        # Budget for the header plus the two newest records.
+        budget = (
+            len(ResultLedger.encode_header())
+            + len(lines["c"]) + len(lines["d"])
+        )
+        with ResultLedger(path) as ledger:
+            evicted = ledger.compact(max_bytes=budget)
+            assert evicted == 2
+            assert sorted(ledger.keys()) == ["c", "d"]
+        assert path.stat().st_size <= budget
+
+    def test_bounds_compose_and_file_stays_loadable(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 6)
+            # Age bound keeps everything (records are fresh); the size
+            # bound then trims to whatever fits.
+            ledger.compact(max_age_seconds=3600.0, max_bytes=300)
+        with ResultLedger(path) as reopened:
+            assert reopened.dropped_records == 0
+            assert 0 < len(reopened) < 6
+            # The newest records are the survivors.
+            assert "k5" in reopened
+
+    def test_unbounded_compact_evicts_nothing_live(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 4)
+            assert ledger.compact() == 0
+            assert len(ledger) == 4
+
+    def test_stats_reports_counts_bytes_and_age_span(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with ResultLedger(path) as ledger:
+            _fill(ledger, 3)
+            stats = ledger.stats()
+        assert stats["records"] == 3
+        assert stats["file_bytes"] == path.stat().st_size
+        assert 0 < stats["live_bytes"] <= stats["file_bytes"]
+        assert stats["dropped_records"] == 0
+        assert stats["oldest_ts"] <= stats["newest_ts"]
+
+
+class TestMergeLedgers:
+    """The cross-machine merge tool: last-write-wins, loud refusals."""
+
+    def test_merge_combines_disjoint_ledgers(self, tmp_path):
+        from repro.experiments.ledger import merge_ledgers
+
+        for name, prefix in (("a.jsonl", "a"), ("b.jsonl", "b")):
+            with ResultLedger(tmp_path / name) as ledger:
+                _fill(ledger, 3, prefix)
+        out = tmp_path / "merged.jsonl"
+        summary = merge_ledgers(
+            out, [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        )
+        assert summary == {"records": 6, "duplicates": 0, "skipped": 0}
+        with ResultLedger(out) as merged:
+            assert len(merged) == 6
+            assert merged.get("a0") == {"value": 0, "tag": "a"}
+            assert merged.get("b2") == {"value": 2, "tag": "b"}
+
+    def test_merge_duplicate_keys_last_input_wins(self, tmp_path):
+        from repro.experiments.ledger import merge_ledgers
+
+        with ResultLedger(tmp_path / "first.jsonl") as ledger:
+            ledger.put("shared", "from-first")
+        with ResultLedger(tmp_path / "second.jsonl") as ledger:
+            ledger.put("shared", "from-second")
+        out = tmp_path / "merged.jsonl"
+        summary = merge_ledgers(
+            out, [tmp_path / "first.jsonl", tmp_path / "second.jsonl"]
+        )
+        assert summary["records"] == 1
+        assert summary["duplicates"] == 1
+        with ResultLedger(out) as merged:
+            assert merged.get("shared") == "from-second"
+
+    def test_merge_refuses_mismatched_salts(self, tmp_path):
+        import pickle
+
+        import pytest
+
+        from repro.errors import LedgerMergeError
+        from repro.experiments.ledger import merge_ledgers
+
+        with ResultLedger(tmp_path / "current.jsonl") as ledger:
+            ledger.put("a", 1)
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_bytes(
+            ResultLedger.encode_header("some-other-salt")
+            + ResultLedger.encode_record("b", pickle.dumps(2))
+        )
+        with pytest.raises(LedgerMergeError, match="different salts"):
+            merge_ledgers(
+                tmp_path / "out.jsonl",
+                [tmp_path / "current.jsonl", foreign],
+            )
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_merge_refuses_foreign_record_versions(self, tmp_path):
+        import pytest
+
+        from repro.errors import LedgerMergeError
+        from repro.experiments.ledger import merge_ledgers
+
+        with ResultLedger(tmp_path / "ok.jsonl") as ledger:
+            ledger.put("a", 1)
+        alien = tmp_path / "alien.jsonl"
+        alien.write_bytes(
+            b'{"v": 2, "key": "x", "payload": "AA==", "psha": "00"}\n'
+        )
+        with pytest.raises(LedgerMergeError, match="version"):
+            merge_ledgers(tmp_path / "out.jsonl", [tmp_path / "ok.jsonl", alien])
+
+    def test_merge_refuses_missing_input(self, tmp_path):
+        import pytest
+
+        from repro.errors import LedgerMergeError
+        from repro.experiments.ledger import merge_ledgers
+
+        with pytest.raises(LedgerMergeError, match="does not exist"):
+            merge_ledgers(
+                tmp_path / "out.jsonl", [tmp_path / "nope.jsonl"]
+            )
+
+    def test_headerless_legacy_input_merges_with_current(self, tmp_path):
+        import pickle
+
+        from repro.experiments.canonical import LEDGER_SALT
+        from repro.experiments.ledger import merge_ledgers
+
+        legacy = tmp_path / "legacy.jsonl"
+        legacy.write_bytes(
+            ResultLedger.encode_record("old", pickle.dumps("old"))
+        )
+        with ResultLedger(tmp_path / "new.jsonl") as ledger:
+            ledger.put("new", "new")
+        out = tmp_path / "out.jsonl"
+        merge_ledgers(out, [legacy, tmp_path / "new.jsonl"])
+        with ResultLedger(out) as merged:
+            assert merged.salt == LEDGER_SALT
+            assert merged.get("old") == "old"
+            assert merged.get("new") == "new"
+
+    def test_merge_output_may_be_an_input(self, tmp_path):
+        from repro.experiments.ledger import merge_ledgers
+
+        with ResultLedger(tmp_path / "acc.jsonl") as ledger:
+            _fill(ledger, 2, "acc")
+        with ResultLedger(tmp_path / "incoming.jsonl") as ledger:
+            _fill(ledger, 2, "inc")
+        merge_ledgers(
+            tmp_path / "acc.jsonl",
+            [tmp_path / "acc.jsonl", tmp_path / "incoming.jsonl"],
+        )
+        with ResultLedger(tmp_path / "acc.jsonl") as merged:
+            assert len(merged) == 4
+            assert merged.dropped_records == 0
 
 
 def _append_records(path, prefix, count):

@@ -284,3 +284,130 @@ class TestRunUnitsContract:
         # The partial outcome still carries the surviving unit.
         assert outcome.results[0] is None
         assert outcome.results[1] is not None
+
+
+class TestCooperativeStop:
+    """The ``stop_event`` contract: a stop never loses finished work.
+
+    This is the mechanism the campaign service's graceful shutdown and
+    client cancel ride on — SIGTERM mid-campaign must cost zero
+    completed units.
+    """
+
+    def test_stop_between_units_inprocess(self, tiny_graph):
+        import threading
+
+        stop = threading.Event()
+        seen = []
+
+        def on_progress(resolved, total):
+            seen.append((resolved, total))
+            if resolved >= 2:
+                stop.set()
+
+        runner = ParallelRunner(workers=1)
+        outcome = runner.run_failure_comparison(
+            single_provider_link_failure, KIND, SEED, N_INSTANCES,
+            PROTOCOLS, tiny_graph, stop_event=stop,
+            on_progress=on_progress,
+        )
+        assert outcome.stopped and not outcome.complete
+        assert not outcome.failures
+        resolved = sum(len(runs) for runs in outcome.runs.values())
+        assert 2 <= resolved < N_INSTANCES * len(PROTOCOLS)
+        assert seen[0] == (0, N_INSTANCES * len(PROTOCOLS))
+
+    def test_stop_drains_inflight_pool_units(self, tiny_graph, baseline):
+        import threading
+
+        stop = threading.Event()
+
+        def on_progress(resolved, total):
+            if resolved >= 1:
+                stop.set()
+
+        outcome = _chaos_runner().run_failure_comparison(
+            single_provider_link_failure, KIND, SEED, N_INSTANCES,
+            PROTOCOLS, tiny_graph, stop_event=stop,
+            on_progress=on_progress,
+        )
+        assert outcome.stopped
+        assert not outcome.failures
+        # Every result that did come back is byte-identical to the
+        # clean run's — draining in-flight units corrupts nothing.
+        stats = _stats(outcome)
+        for protocol, runs in stats.items():
+            assert runs == baseline[protocol][: len(runs)]
+
+    def test_stop_loses_zero_ledgered_units(self, tiny_graph, tmp_path):
+        """Regression for the service shutdown path: everything that
+        completed before (or during) the stop is in the ledger, and a
+        rerun recomputes exactly the remainder."""
+        import threading
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        stop = threading.Event()
+
+        def on_progress(resolved, total):
+            if resolved >= 3:
+                stop.set()
+
+        runner = ParallelRunner(workers=1, ledger_path=ledger_path)
+        interrupted = runner.run_failure_comparison(
+            single_provider_link_failure, KIND, SEED, N_INSTANCES,
+            PROTOCOLS, tiny_graph, stop_event=stop,
+            on_progress=on_progress,
+        )
+        assert interrupted.stopped
+        completed = sum(len(runs) for runs in interrupted.runs.values())
+        from repro.experiments.ledger import ResultLedger
+
+        with ResultLedger(ledger_path) as ledger:
+            assert len(ledger) == completed  # zero completed units lost
+        resumed = runner.run_failure_comparison(
+            single_provider_link_failure, KIND, SEED, N_INSTANCES,
+            PROTOCOLS, tiny_graph,
+        )
+        assert resumed.complete
+        assert resumed.ledger_hits == completed
+        assert resumed.executed == N_INSTANCES * len(PROTOCOLS) - completed
+
+    def test_preset_stop_runs_nothing(self, tiny_graph):
+        import threading
+
+        stop = threading.Event()
+        stop.set()
+        outcome = ParallelRunner(workers=1).run_failure_comparison(
+            single_provider_link_failure, KIND, SEED, N_INSTANCES,
+            PROTOCOLS, tiny_graph, stop_event=stop,
+        )
+        assert outcome.stopped
+        assert outcome.executed == 0
+        assert all(not runs for runs in outcome.runs.values())
+
+    def test_stop_cuts_retry_backoff_short(self, tiny_graph, monkeypatch):
+        """A stop during a long backoff pause returns promptly instead
+        of sleeping out the full schedule."""
+        import threading
+        import time
+
+        monkeypatch.setenv(FAULTS_ENV, fault_spec(
+            "raise", instance=0, protocol="bgp",
+        ))
+        stop = threading.Event()
+        runner = ParallelRunner(
+            workers=1, max_attempts=2, backoff_base=30.0
+        )
+        timer = threading.Timer(0.3, stop.set)
+        timer.start()
+        try:
+            started = time.monotonic()
+            outcome = runner.run_failure_comparison(
+                single_provider_link_failure, KIND, SEED, 1, ("bgp",),
+                tiny_graph, stop_event=stop,
+            )
+            elapsed = time.monotonic() - started
+        finally:
+            timer.cancel()
+        assert outcome.stopped
+        assert elapsed < 10.0  # nowhere near the 30s backoff

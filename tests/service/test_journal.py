@@ -1,0 +1,118 @@
+"""Crash-safety tests of the campaign journal (append + replay)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.service.journal import CampaignJournal
+
+
+def _submit(journal, cid, ts=1.0):
+    journal.append({
+        "event": "submitted", "id": cid,
+        "spec": {"kind": "fig2", "instances": 2}, "ts": ts,
+    })
+
+
+class TestReplay:
+    def test_submitted_then_states_fold_to_last_state(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            _submit(journal, "c1")
+            journal.append(
+                {"event": "state", "id": "c1", "state": "running", "ts": 2.0}
+            )
+            journal.append(
+                {"event": "state", "id": "c1", "state": "done", "ts": 3.0,
+                 "result": {"mean": 1.5}, "executed": 4, "ledger_hits": 0,
+                 "failures": []}
+            )
+        campaigns, dropped = CampaignJournal(tmp_path / "j.jsonl").replay()
+        assert dropped == 0
+        assert list(campaigns) == ["c1"]
+        entry = campaigns["c1"]
+        assert entry["state"] == "done"
+        assert entry["result"] == {"mean": 1.5}
+        assert entry["executed"] == 4
+        assert entry["spec"] == {"kind": "fig2", "instances": 2}
+
+    def test_replay_preserves_submission_order(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            for cid in ("b", "a", "c"):
+                _submit(journal, cid)
+        campaigns, _ = CampaignJournal(tmp_path / "j.jsonl").replay()
+        assert list(campaigns) == ["b", "a", "c"]
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        campaigns, dropped = CampaignJournal(tmp_path / "nope.jsonl").replay()
+        assert campaigns == {} and dropped == 0
+
+    def test_checkpoint_records_are_ignored_for_state(self, tmp_path):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            _submit(journal, "c1")
+            journal.append(
+                {"event": "checkpoint", "ts": 9.0, "reason": "shutdown"}
+            )
+        campaigns, dropped = CampaignJournal(tmp_path / "j.jsonl").replay()
+        assert dropped == 0
+        assert campaigns["c1"]["state"] == "queued"
+
+    def test_state_for_unknown_campaign_is_skipped(self, tmp_path, caplog):
+        with CampaignJournal(tmp_path / "j.jsonl") as journal:
+            journal.append(
+                {"event": "state", "id": "ghost", "state": "done", "ts": 1.0}
+            )
+        with caplog.at_level(logging.WARNING, "repro.service.journal"):
+            campaigns, dropped = CampaignJournal(
+                tmp_path / "j.jsonl"
+            ).replay()
+        assert campaigns == {} and dropped == 1
+        assert any("unknown campaign" in r.message for r in caplog.records)
+
+
+class TestTornAndCorrupt:
+    def test_torn_tail_is_skipped_and_sealed(self, tmp_path, caplog):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1")
+            line = journal.encode_record(
+                {"event": "state", "id": "c1", "state": "running", "ts": 2.0}
+            )
+        with open(path, "ab") as handle:
+            handle.write(line[: len(line) // 2])  # crash mid-append
+        with caplog.at_level(logging.WARNING, "repro.service.journal"):
+            campaigns, dropped = CampaignJournal(path).replay()
+        assert dropped == 1
+        assert campaigns["c1"]["state"] == "queued"
+        # A reopened journal seals the tail; later appends survive.
+        with CampaignJournal(path) as resumed:
+            resumed.append(
+                {"event": "state", "id": "c1", "state": "running", "ts": 3.0}
+            )
+        campaigns, dropped = CampaignJournal(path).replay()
+        assert dropped == 1
+        assert campaigns["c1"]["state"] == "running"
+
+    def test_tampered_body_fails_the_digest(self, tmp_path, caplog):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1")
+            journal.append(
+                {"event": "state", "id": "c1", "state": "done", "ts": 2.0}
+            )
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        record["body"]["state"] = "failed"  # bit rot / tampering
+        lines[1] = (json.dumps(record) + "\n").encode("ascii")
+        path.write_bytes(b"".join(lines))
+        with caplog.at_level(logging.WARNING, "repro.service.journal"):
+            campaigns, dropped = CampaignJournal(path).replay()
+        assert dropped == 1
+        assert campaigns["c1"]["state"] == "queued"
+        assert any("digest mismatch" in r.message for r in caplog.records)
+
+    def test_garbage_never_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"\x00\xff{{{\n[1,2]\n")
+        campaigns, dropped = CampaignJournal(path).replay()
+        assert campaigns == {} and dropped == 2

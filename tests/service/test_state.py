@@ -1,0 +1,98 @@
+"""The campaign lifecycle state machine: every edge, and no others."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.state import (
+    CANCELLED,
+    Campaign,
+    DONE,
+    FAILED,
+    PARTIAL,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    advance,
+)
+
+ALL = (QUEUED, RUNNING, DONE, PARTIAL, FAILED, CANCELLED)
+
+VALID = {
+    (QUEUED, RUNNING), (QUEUED, CANCELLED),
+    (RUNNING, DONE), (RUNNING, PARTIAL), (RUNNING, FAILED),
+    (RUNNING, CANCELLED), (RUNNING, QUEUED),
+    (FAILED, QUEUED), (CANCELLED, QUEUED),
+}
+
+
+class TestTransitions:
+    @pytest.mark.parametrize("current,new", sorted(VALID))
+    def test_valid_edges_advance(self, current, new):
+        assert advance(current, new) == new
+
+    @pytest.mark.parametrize(
+        "current,new",
+        sorted(
+            (c, n) for c in ALL for n in ALL
+            if (c, n) not in VALID
+        ),
+    )
+    def test_everything_else_is_rejected(self, current, new):
+        with pytest.raises(ServiceError, match="invalid campaign transition"):
+            advance(current, new)
+
+    def test_done_and_partial_are_frozen(self):
+        # The idempotency contract: a finished result never mutates.
+        for frozen in (DONE, PARTIAL):
+            for new in ALL:
+                with pytest.raises(ServiceError):
+                    advance(frozen, new)
+
+    def test_unknown_state_is_loud(self):
+        with pytest.raises(ServiceError, match="unknown campaign state"):
+            advance("limbo", QUEUED)
+
+
+class TestCampaignRecord:
+    def test_requeue_reset_clears_execution_state_only(self):
+        campaign = Campaign(
+            campaign_id="c1", spec_document={"kind": "fig2"},
+            state=FAILED, total_units=8, resolved_units=3,
+            executed=3, ledger_hits=0,
+            failures=[{"kind": "x"}], error="boom",
+        )
+        campaign.stop_event.set()
+        campaign.cancel_requested = True
+        campaign.reset_for_requeue()
+        assert not campaign.stop_event.is_set()
+        assert not campaign.cancel_requested
+        assert campaign.resolved_units == 0
+        assert campaign.failures == [] and campaign.error is None
+        assert campaign.total_units == 8  # identity survives
+        assert campaign.spec_document == {"kind": "fig2"}
+
+    def test_status_document_shape(self):
+        campaign = Campaign(
+            campaign_id="c1", spec_document={"kind": "fig2"},
+            total_units=8, resolved_units=2,
+        )
+        doc = campaign.status_document(queue_position=1)
+        assert doc["id"] == "c1"
+        assert doc["state"] == QUEUED
+        assert doc["queue_position"] == 1
+        assert doc["progress"] == {
+            "total_units": 8, "resolved_units": 2, "failed_units": 0,
+        }
+        assert "error" not in doc and "cancelling" not in doc
+
+    def test_status_document_flags_cancelling_while_running(self):
+        campaign = Campaign(
+            campaign_id="c1", spec_document={}, state=RUNNING,
+        )
+        campaign.cancel_requested = True
+        assert campaign.status_document()["cancelling"] is True
+
+    def test_terminal_states_cover_exactly_the_four(self):
+        assert TERMINAL_STATES == {DONE, PARTIAL, FAILED, CANCELLED}

@@ -48,3 +48,67 @@ class TestCommands:
 
         graph = load_graph(out)
         assert len(graph) == 39
+
+
+class TestLedgerCommands:
+    def _fill(self, path, keys):
+        from repro.experiments.ledger import ResultLedger
+
+        with ResultLedger(path) as ledger:
+            for key in keys:
+                ledger.put(key, {"k": key})
+
+    def test_stats(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        self._fill(path, ["a", "b"])
+        assert main(["ledger", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "repro-unit-v1" in out
+
+    def test_compact_with_bounds(self, tmp_path, capsys):
+        from repro.experiments.ledger import ResultLedger
+
+        path = tmp_path / "ledger.jsonl"
+        self._fill(path, [f"k{i}" for i in range(5)])
+        assert main(
+            ["ledger", "compact", str(path), "--max-bytes", "400"]
+        ) == 0
+        assert "evicted" in capsys.readouterr().out
+        with ResultLedger(path) as ledger:
+            assert 0 < len(ledger) < 5
+
+    def test_merge(self, tmp_path, capsys):
+        from repro.experiments.ledger import ResultLedger
+
+        self._fill(tmp_path / "a.jsonl", ["a1", "shared"])
+        self._fill(tmp_path / "b.jsonl", ["b1", "shared"])
+        out = tmp_path / "merged.jsonl"
+        assert main([
+            "ledger", "merge", str(out),
+            str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+        ]) == 0
+        assert "merged 3 record(s)" in capsys.readouterr().out
+        with ResultLedger(out) as merged:
+            assert sorted(merged.keys()) == ["a1", "b1", "shared"]
+
+    def test_merge_refusal_is_exit_one(self, tmp_path, capsys):
+        self._fill(tmp_path / "a.jsonl", ["a1"])
+        assert main([
+            "ledger", "merge", str(tmp_path / "out.jsonl"),
+            str(tmp_path / "a.jsonl"), str(tmp_path / "missing.jsonl"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_requires_a_ledger(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--ledger", "l.jsonl"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8421
+        assert args.serve_ledger == "l.jsonl"
+        assert args.journal is None  # derived: <ledger>.journal
+        assert args.max_queue == 8

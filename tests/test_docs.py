@@ -19,6 +19,7 @@ README = REPO / "README.md"
 ARCHITECTURE = REPO / "docs" / "architecture.md"
 SCENARIOS = REPO / "docs" / "scenarios.md"
 ROBUSTNESS = REPO / "docs" / "robustness.md"
+SERVICE = REPO / "docs" / "service.md"
 
 
 def test_readme_exists():
@@ -125,6 +126,50 @@ def test_readme_documents_resumable_campaigns():
     assert "## Resumable campaigns" in text
     assert "--ledger" in text
     assert "docs/robustness.md" in text
+
+
+def test_service_doc_exists():
+    assert SERVICE.is_file(), "docs/service.md is missing"
+
+
+def test_service_doc_covers_the_contract():
+    """The service guide must document every robustness layer."""
+    text = SERVICE.read_text()
+    for route in (
+        "POST /campaigns",
+        "GET /campaigns/{id}",
+        "GET /campaigns/{id}/result",
+        "POST /campaigns/{id}/cancel",
+        "GET /healthz",
+        "GET /readyz",
+    ):
+        assert route in text, f"service guide lost its {route!r} route"
+    for topic in (
+        "Crash recovery",
+        "Idempotent submission",
+        "Admission control",
+        "Graceful shutdown",
+        "journal",
+        "Retry-After",
+        "ledger stats",
+        "ledger compact",
+        "ledger merge",
+        "check_service_smoke.py",
+    ):
+        assert topic in text, f"service guide lost its {topic!r} coverage"
+
+
+def test_readme_documents_the_campaign_service():
+    text = README.read_text()
+    assert "## Campaign service" in text
+    assert "serve" in text
+    assert "docs/service.md" in text
+
+
+def test_architecture_covers_the_service():
+    text = ARCHITECTURE.read_text()
+    assert "`repro.service`" in text, "no section for repro.service"
+    assert "docs/service.md" in text
 
 
 def test_scenarios_doctests_pass():
