@@ -159,6 +159,75 @@ def test_graph_cold_view_rebuild(benchmark, graph, perf_records):
     _record(perf_records, "graph_cold_view_rebuild", benchmark)
 
 
+def test_topology_build_csr(benchmark, perf_records):
+    """Full graph build + CSR fold of the default topology.
+
+    The cost a campaign pays once to turn raw links into the
+    int-indexed CSR base (interning, insertion-order neighbor rows,
+    sorted per-relationship rows) — the arrays every query view and
+    shared-memory export slices from.
+    """
+    from repro.topology.graph import ASGraph
+
+    source, _ = generate_internet_topology(InternetTopologyConfig())
+    ases = source.ases
+    c2p = source.c2p_links()
+    p2p = source.p2p_links()
+
+    def run():
+        graph = ASGraph()
+        for asn in ases:
+            graph.add_as(asn)
+        for customer, provider in c2p:
+            graph.add_c2p(customer, provider)
+        for a, b in p2p:
+            graph.add_p2p(a, b)
+        graph.compact()
+        return len(graph)
+
+    result = benchmark(run)
+    assert result == len(source)
+    _record(
+        perf_records, "topology_build_csr", benchmark,
+        ases=len(source), links=len(c2p) + len(p2p),
+    )
+
+
+def test_shared_memory_attach(benchmark, graph, perf_records):
+    """Worker-side topology acquisition: attach-by-name + first probe.
+
+    This is the per-worker (and per-worker-respawn) cost the
+    shared-memory fan-out reduced from a full pickle round trip to an
+    O(1)-in-topology-size segment map.
+    """
+    from repro.topology.shm import (
+        attach_graph,
+        share_graph,
+        shared_memory_available,
+    )
+
+    if not shared_memory_available():
+        pytest.skip("platform cannot create shared-memory segments")
+    shared = share_graph(graph)
+    try:
+        def run():
+            attached = attach_graph(shared.name)
+            probe = attached.graph
+            count = len(probe.neighbors(probe.ases[0]))
+            del probe  # release the array views so close() can unmap
+            attached.close()
+            return count
+
+        result = benchmark(run)
+        assert result > 0
+        _record(
+            perf_records, "shared_memory_attach", benchmark,
+            segment_bytes=shared.size,
+        )
+    finally:
+        shared.destroy()
+
+
 # ----------------------------------------------------------------------
 # Layer 1.5 — event engine (timer wheel)
 # ----------------------------------------------------------------------

@@ -44,8 +44,33 @@ from repro.experiments.reporting import (
     format_table,
 )
 from repro.experiments.runner import ExperimentConfig, PROTOCOL_LABELS
+from repro.topology.caida import load_caida
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
 from repro.topology.serialization import save_graph
+
+
+def _load_topology(args: argparse.Namespace):
+    """The real topology requested with ``--topology-file``, or None.
+
+    Loads CAIDA AS-relationship text (the format ``repro-stamp
+    topology --out`` writes is the same serial-1 convention), runs the
+    structural validation pass, and warns — without refusing — when
+    the file violates the paper's idealizations: real AS graphs
+    routinely do, and the experiments still run on them.
+    """
+    if getattr(args, "topology_file", None) is None:
+        return None
+    report = load_caida(args.topology_file, validate=True)
+    print(
+        f"loaded {args.topology_file}: {report.summary()}", file=sys.stderr
+    )
+    if report.validation is not None and not report.validation.ok:
+        print(
+            "warning: topology violates structural assumptions; "
+            "results may not match the paper's idealized model",
+            file=sys.stderr,
+        )
+    return report.graph
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -79,7 +104,7 @@ def _print_failure(title: str, data) -> None:
 
 
 def cmd_fig1(args) -> int:
-    data = fig1_phi_cdf(_build_config(args))
+    data = fig1_phi_cdf(_build_config(args), graph=_load_topology(args))
     print(
         format_table(
             ["quantity", "paper", "measured"],
@@ -97,7 +122,7 @@ def cmd_fig1(args) -> int:
 def cmd_fig2(args) -> int:
     _print_failure(
         "Figure 2: single provider-link failure (mean affected ASes)",
-        fig2_single_link_failure(_build_config(args)),
+        fig2_single_link_failure(_build_config(args), graph=_load_topology(args)),
     )
     return 0
 
@@ -105,7 +130,7 @@ def cmd_fig2(args) -> int:
 def cmd_fig3a(args) -> int:
     _print_failure(
         "Figure 3(a): two failed links at distinct ASes",
-        fig3a_two_links_distinct_as(_build_config(args)),
+        fig3a_two_links_distinct_as(_build_config(args), graph=_load_topology(args)),
     )
     return 0
 
@@ -113,21 +138,22 @@ def cmd_fig3a(args) -> int:
 def cmd_fig3b(args) -> int:
     _print_failure(
         "Figure 3(b): two failed links at the same AS",
-        fig3b_two_links_same_as(_build_config(args)),
+        fig3b_two_links_same_as(_build_config(args), graph=_load_topology(args)),
     )
     return 0
 
 
 def cmd_node_failure(args) -> int:
     _print_failure(
-        "Single node (AS) failure", node_failure_comparison(_build_config(args))
+        "Single node (AS) failure", node_failure_comparison(_build_config(args), graph=_load_topology(args))
     )
     return 0
 
 
 def cmd_flap(args) -> int:
     data = link_flap_comparison(
-        _build_config(args), period=args.period, flaps=args.flaps
+        _build_config(args), period=args.period, flaps=args.flaps,
+        graph=_load_topology(args),
     )
     _print_failure(
         f"Link-flap campaign ({args.flaps} flap(s), period {args.period:g}s): "
@@ -150,14 +176,14 @@ def cmd_flap(args) -> int:
 
 
 def cmd_intelligent(args) -> int:
-    data = sec61_intelligent_selection(_build_config(args))
+    data = sec61_intelligent_selection(_build_config(args), graph=_load_topology(args))
     print(f"mean Phi, random selection     : {data.mean_phi_random:.3f}")
     print(f"mean Phi, intelligent selection: {data.mean_phi_intelligent:.3f}")
     return 0
 
 
 def cmd_deployment(args) -> int:
-    data = sec63_partial_deployment(_build_config(args))
+    data = sec63_partial_deployment(_build_config(args), graph=_load_topology(args))
     print(f"tier-1-only deployment fraction: {data.tier1_only_fraction:.3f} "
           f"(paper: ~0.75)")
     print(f"full deployment fraction       : {data.full_deployment_fraction:.3f}")
@@ -165,7 +191,7 @@ def cmd_deployment(args) -> int:
 
 
 def cmd_overhead(args) -> int:
-    data = sec63_message_overhead(_build_config(args))
+    data = sec63_message_overhead(_build_config(args), graph=_load_topology(args))
     print(f"initial convergence: BGP {data.mean_initial_updates_bgp:.0f} vs "
           f"STAMP {data.mean_initial_updates_stamp:.0f} updates "
           f"(ratio {data.initial_ratio:.2f}, paper < 2)")
@@ -176,7 +202,7 @@ def cmd_overhead(args) -> int:
 
 
 def cmd_delay(args) -> int:
-    data = sec63_convergence_delay(_build_config(args))
+    data = sec63_convergence_delay(_build_config(args), graph=_load_topology(args))
     print(f"control-plane quiescence: BGP {data.mean_seconds_bgp:.1f}s, "
           f"STAMP {data.mean_seconds_stamp:.1f}s")
     print(f"data-plane disruption   : BGP {data.mean_disruption_bgp:.2f}s, "
@@ -304,6 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
              "as they finish and never recomputed, so an interrupted "
              "campaign restarted with the same ledger resumes where it "
              "left off (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--topology-file", default=None, metavar="PATH",
+        help="run on a real topology: a CAIDA AS-relationship file "
+             "('provider|customer|-1' / 'a|b|0', '#' comments; the "
+             "format 'repro-stamp topology --out' writes) instead of "
+             "the synthetic generator — the --tier*/--stubs knobs are "
+             "then ignored",
     )
     parser.add_argument("--tier1", type=int, default=8, help="tier-1 ASes")
     parser.add_argument("--tier2", type=int, default=48, help="tier-2 ASes")

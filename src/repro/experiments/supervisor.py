@@ -41,6 +41,7 @@ import contextlib
 import gc
 import logging
 import multiprocessing
+import os
 import random
 import threading
 import time
@@ -58,6 +59,7 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.experiments.scenarios import Episode
+from repro.topology import shm as topology_shm
 from repro.topology.graph import ASGraph
 from repro.topology.serialization import graph_from_bytes, graph_to_bytes
 
@@ -212,8 +214,16 @@ class SupervisedOutcome:
 # ----------------------------------------------------------------------
 
 
-def _worker_main(conn, graph_payload: bytes) -> None:
+def _worker_main(conn, graph_payload: Tuple[str, object]) -> None:
     """Worker loop: receive ``(index, unit)``, send back the outcome.
+
+    ``graph_payload`` is how the campaign topology reaches the worker:
+    ``("shm", segment_name)`` attaches the shared CSR segment by name
+    (zero-copy, the default), ``("pickle", bytes)`` is the legacy
+    per-worker deserialization (``REPRO_NO_SHM=1`` or platforms
+    without shared memory).  The worker only ever *attaches* — segment
+    ownership (and unlinking) stays with the supervisor, which is what
+    makes a ``kill -9`` of any worker leak-free.
 
     The worker owns a private duplex pipe; a unit that raises reports
     ``(index, "error", traceback)`` and the worker survives for the
@@ -222,21 +232,32 @@ def _worker_main(conn, graph_payload: bytes) -> None:
     sentinel watch detects.
     """
     faults.mark_worker_process()
-    graph = graph_from_bytes(graph_payload)
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        if message is None:
-            break
-        index, unit = message
-        try:
-            with _cyclic_gc_paused():
-                result = run_unit(graph, *unit)
-            conn.send((index, "ok", result))
-        except Exception:
-            conn.send((index, "error", traceback.format_exc()))
+    transport, payload = graph_payload
+    attached = None
+    if transport == "shm":
+        attached = topology_shm.attach_graph(payload)
+        graph = attached.graph
+    else:
+        graph = graph_from_bytes(payload)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            index, unit = message
+            try:
+                with _cyclic_gc_paused():
+                    result = run_unit(graph, *unit)
+                conn.send((index, "ok", result))
+            except Exception:
+                conn.send((index, "error", traceback.format_exc()))
+    finally:
+        if attached is not None:
+            del graph
+            attached.close()
 
 
 class _Worker:
@@ -300,7 +321,10 @@ class Supervisor:
         self._executed = 0
         self._ledger_hits = 0
         self._workers: List[_Worker] = []
-        self._payload: Optional[bytes] = None
+        #: Topology transport handed to every spawned worker:
+        #: ``("shm", name)`` or ``("pickle", bytes)`` — see
+        #: :func:`_worker_main`.  Set by :meth:`_run_pool`.
+        self._payload: Optional[Tuple[str, object]] = None
         self._spawn_failed = False
         #: Cooperative interrupt: settable from any thread (a SIGTERM
         #: handler, the service's cancel endpoint).  Once set, no new
@@ -606,8 +630,32 @@ class Supervisor:
             stopped=self._stop_requested() and not all(self._resolved),
         )
 
+    def _share_topology(self) -> Optional[topology_shm.SharedGraph]:
+        """Publish the graph for zero-copy worker attach, if possible.
+
+        Returns the owning handle (to destroy in the pool's
+        ``finally``) or ``None`` when shared memory is disabled
+        (``REPRO_NO_SHM=1``) or unavailable — the pickle fallback then
+        applies.  Export failure is never fatal: the campaign still
+        runs, just without the zero-copy fan-out.
+        """
+        if os.environ.get("REPRO_NO_SHM") == "1":
+            return None
+        try:
+            return topology_shm.share_graph(self._graph)
+        except Exception as exc:
+            logger.warning(
+                "shared-memory topology export unavailable (%s); "
+                "falling back to pickled topology", exc,
+            )
+            return None
+
     def _run_pool(self) -> None:
-        self._payload = graph_to_bytes(self._graph)
+        shared = self._share_topology()
+        if shared is not None:
+            self._payload = ("shm", shared.name)
+        else:
+            self._payload = ("pickle", graph_to_bytes(self._graph))
         try:
             while self._pending or any(
                 w.assignment is not None for w in self._workers
@@ -653,6 +701,13 @@ class Supervisor:
                 self._reap_timeouts()
         finally:
             self._shutdown_pool()
+            if shared is not None:
+                # Unlink *after* the pool is down, no matter how the
+                # grid ended (completion, stop, worker massacre): the
+                # supervisor is the single owner, so no campaign ever
+                # leaves an orphaned segment behind.
+                shared.destroy()
+            self._payload = None
             clear_twin_start_cache()
 
     def _run_inprocess(self) -> None:

@@ -30,6 +30,14 @@ from repro.topology.routeviews import (
 )
 from repro.topology.serialization import load_graph, save_graph, graph_to_lines
 from repro.topology.validation import ValidationReport, validate_graph
+from repro.topology.caida import CAIDAFormatError, CAIDALoadReport, load_caida
+from repro.topology.shm import (
+    AttachedGraph,
+    SharedGraph,
+    attach_graph,
+    share_graph,
+    shared_memory_available,
+)
 
 __all__ = [
     "ASGraph",
@@ -54,4 +62,12 @@ __all__ = [
     "graph_to_lines",
     "ValidationReport",
     "validate_graph",
+    "CAIDAFormatError",
+    "CAIDALoadReport",
+    "load_caida",
+    "AttachedGraph",
+    "SharedGraph",
+    "attach_graph",
+    "share_graph",
+    "shared_memory_available",
 ]

@@ -1,4 +1,4 @@
-"""Annotated AS graph.
+"""Annotated AS graph on an int-indexed CSR core.
 
 Each AS is one node (the paper's model); each link carries one of the
 two common business relationships: customer-provider (c2p) or peer-peer
@@ -6,17 +6,45 @@ two common business relationships: customer-provider (c2p) or peer-peer
 is the assumption under which Gao-Rexford safety (and hence the paper's
 analysis) holds.
 
-Adjacency queries are served from relationship-indexed views cached per
-AS: ``providers``/``customers``/``peers``/``neighbors`` return shared
-immutable tuples, and ``is_tier1``/``is_multihomed``/``degree`` are
-O(1).  Every mutation bumps :attr:`version` and invalidates the views,
-so link-failure experiments that edit the graph stay correct; external
-caches (e.g. per-speaker preference tables) can key off ``version``.
+Storage model (the "production scale" substrate — real AS graphs are
+~80k nodes, far past where dict-of-dicts adjacency pays off):
+
+* **CSR base** — an immutable compressed-sparse-row snapshot
+  (:class:`_CSRBase`).  ASNs are interned to dense indices; neighbor
+  rows live in contiguous offset/target arrays (numpy ``int64``/``int8``
+  when numpy is importable, stdlib :mod:`array` otherwise — the same
+  optional-accelerator pattern as the walk classifier).  One array
+  family keeps rows in *link insertion order* (preserving the exact
+  enumeration order the dict-of-dicts implementation exposed through
+  :meth:`links` and :meth:`iter_c2p`); a second family keeps one
+  sorted-ASN row per relationship class, which the cached adjacency
+  views slice directly.
+* **Delta overlay** — mutations (link fail/restore, episode AS
+  fail/restore) never touch the base arrays: the affected rows are
+  materialized into small per-AS dicts and edited there.  The base is
+  re-folded lazily, only when the overlay grows past ~1/8 of the rows
+  (or on an explicit :meth:`compact`), so a failure experiment that
+  flips two links back and forth never pays a rebuild — and a base
+  attached read-only from shared memory (:mod:`repro.topology.shm`) is
+  never written by any worker.
+
+The query API is unchanged from the dict era: ``providers`` /
+``customers`` / ``peers`` / ``neighbors`` return shared immutable
+sorted tuples cached per AS, ``is_tier1`` / ``is_multihomed`` /
+``degree`` are O(1) after the first view build, and every mutation
+bumps :attr:`version` and invalidates the views, so speakers, Φ caches
+and successor tables key off ``version`` exactly as before.  The
+retained pre-CSR implementation
+(:class:`repro.topology.reference.ReferenceASGraph`) is the executable
+specification; ``tests/topology/test_csr_equivalence.py`` pins the two
+identical under randomized mutation streams.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
     CyclicHierarchyError,
@@ -26,10 +54,212 @@ from repro.errors import (
 )
 from repro.types import ASN, Link, Relationship, normalize_link
 
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via monkeypatch in tests
+    _np = None
+
 #: Cached per-AS adjacency: (providers, customers, peers, neighbors).
 _AdjView = Tuple[
     Tuple[ASN, ...], Tuple[ASN, ...], Tuple[ASN, ...], Tuple[ASN, ...]
 ]
+
+#: Relationship codes used in the CSR ``rel`` arrays (stable: they are
+#: part of the shared-memory segment layout).
+_REL_OF_CODE: Tuple[Relationship, ...] = (
+    Relationship.PROVIDER,
+    Relationship.CUSTOMER,
+    Relationship.PEER,
+)
+_CODE_OF_REL: Dict[Relationship, int] = {
+    rel: code for code, rel in enumerate(_REL_OF_CODE)
+}
+
+
+def _index_array(values: Sequence[int]):
+    """An int64 sequence: numpy array when available, ``array('q')``."""
+    if _np is not None:
+        arr = _np.asarray(values, dtype=_np.int64)
+        arr.flags.writeable = False
+        return arr
+    return array("q", values)
+
+
+def _code_array(values: Sequence[int]):
+    """An int8 sequence for relationship codes."""
+    if _np is not None:
+        arr = _np.asarray(values, dtype=_np.int8)
+        arr.flags.writeable = False
+        return arr
+    return array("b", values)
+
+
+class _CSRBase:
+    """Immutable CSR snapshot of the adjacency.
+
+    ``asns`` maps dense index -> ASN in graph insertion order (the
+    interning table); ``index`` is its inverse.  ``nbr_*`` keep each
+    AS's neighbors in link insertion order (targets as dense indices,
+    relationships as codes).  ``prov_*`` / ``cust_*`` / ``peer_*`` keep
+    one sorted row of neighbor *ASNs* per relationship class — the
+    arrays the adjacency views are sliced from without re-sorting.
+
+    Instances are never mutated after construction; the graph's delta
+    overlay masks them row by row, and a rebuild produces a fresh
+    snapshot.  That immutability is what makes sharing a base across
+    :meth:`ASGraph.copy` clones — and across processes via
+    :mod:`repro.topology.shm` — safe.
+    """
+
+    __slots__ = (
+        "index", "asns",
+        "nbr_off", "nbr_tgt", "nbr_rel",
+        "prov_off", "prov_tgt",
+        "cust_off", "cust_tgt",
+        "peer_off", "peer_tgt",
+    )
+
+    def __init__(
+        self, asns, nbr_off, nbr_tgt, nbr_rel,
+        prov_off, prov_tgt, cust_off, cust_tgt, peer_off, peer_tgt,
+    ) -> None:
+        self.asns: List[ASN] = list(asns)
+        self.index: Dict[ASN, int] = {
+            asn: i for i, asn in enumerate(self.asns)
+        }
+        self.nbr_off = nbr_off
+        self.nbr_tgt = nbr_tgt
+        self.nbr_rel = nbr_rel
+        self.prov_off = prov_off
+        self.prov_tgt = prov_tgt
+        self.cust_off = cust_off
+        self.cust_tgt = cust_tgt
+        self.peer_off = peer_off
+        self.peer_tgt = peer_tgt
+
+    def __getstate__(self):
+        # Arrays may be read-only views over a shared-memory buffer;
+        # pickling materializes them as plain lists so a snapshot (e.g.
+        # a graph captured inside a ledgered result) never depends on
+        # the segment — or on numpy — being present at load time.
+        return (
+            self.asns,
+            self.nbr_off.tolist(), self.nbr_tgt.tolist(),
+            self.nbr_rel.tolist(),
+            self.prov_off.tolist(), self.prov_tgt.tolist(),
+            self.cust_off.tolist(), self.cust_tgt.tolist(),
+            self.peer_off.tolist(), self.peer_tgt.tolist(),
+        )
+
+    def __setstate__(self, state) -> None:
+        (asns, nbr_off, nbr_tgt, nbr_rel, prov_off, prov_tgt,
+         cust_off, cust_tgt, peer_off, peer_tgt) = state
+        self.__init__(
+            asns,
+            _index_array(nbr_off), _index_array(nbr_tgt),
+            _code_array(nbr_rel),
+            _index_array(prov_off), _index_array(prov_tgt),
+            _index_array(cust_off), _index_array(cust_tgt),
+            _index_array(peer_off), _index_array(peer_tgt),
+        )
+
+    @classmethod
+    def from_rows(cls, asns: Sequence[ASN], row_of) -> "_CSRBase":
+        """Fold insertion-ordered adjacency rows into CSR arrays.
+
+        ``row_of(asn)`` yields ``(neighbor, relationship)`` pairs in
+        link insertion order; every neighbor must itself be in
+        ``asns``.
+        """
+        index = {asn: i for i, asn in enumerate(asns)}
+        nbr_off = [0]
+        nbr_tgt: List[int] = []
+        nbr_rel: List[int] = []
+        prov_off = [0]
+        prov_tgt: List[int] = []
+        cust_off = [0]
+        cust_tgt: List[int] = []
+        peer_off = [0]
+        peer_tgt: List[int] = []
+        for asn in asns:
+            prov: List[int] = []
+            cust: List[int] = []
+            peer: List[int] = []
+            for nbr, rel in row_of(asn):
+                nbr_tgt.append(index[nbr])
+                nbr_rel.append(_CODE_OF_REL[rel])
+                if rel is Relationship.PROVIDER:
+                    prov.append(nbr)
+                elif rel is Relationship.CUSTOMER:
+                    cust.append(nbr)
+                else:
+                    peer.append(nbr)
+            nbr_off.append(len(nbr_tgt))
+            prov.sort()
+            cust.sort()
+            peer.sort()
+            prov_tgt.extend(prov)
+            cust_tgt.extend(cust)
+            peer_tgt.extend(peer)
+            prov_off.append(len(prov_tgt))
+            cust_off.append(len(cust_tgt))
+            peer_off.append(len(peer_tgt))
+        return cls(
+            asns,
+            _index_array(nbr_off), _index_array(nbr_tgt),
+            _code_array(nbr_rel),
+            _index_array(prov_off), _index_array(prov_tgt),
+            _index_array(cust_off), _index_array(cust_tgt),
+            _index_array(peer_off), _index_array(peer_tgt),
+        )
+
+    # -- row decoding --------------------------------------------------
+
+    def row_pairs(self, idx: int) -> List[Tuple[ASN, Relationship]]:
+        """Insertion-ordered ``(neighbor ASN, relationship)`` pairs."""
+        start = int(self.nbr_off[idx])
+        end = int(self.nbr_off[idx + 1])
+        asns = self.asns
+        return [
+            (asns[t], _REL_OF_CODE[r])
+            for t, r in zip(
+                self.nbr_tgt[start:end].tolist(),
+                self.nbr_rel[start:end].tolist(),
+            )
+        ]
+
+    def rel_of(self, idx: int, b: ASN) -> Optional[Relationship]:
+        """Relationship of neighbor ``b`` in row ``idx`` (or None)."""
+        for off, tgt, rel in (
+            (self.prov_off, self.prov_tgt, Relationship.PROVIDER),
+            (self.cust_off, self.cust_tgt, Relationship.CUSTOMER),
+            (self.peer_off, self.peer_tgt, Relationship.PEER),
+        ):
+            start = int(off[idx])
+            end = int(off[idx + 1])
+            pos = bisect_left(tgt, b, start, end)
+            if pos < end and tgt[pos] == b:
+                return rel
+        return None
+
+    def degree_of(self, idx: int) -> int:
+        return int(self.nbr_off[idx + 1]) - int(self.nbr_off[idx])
+
+    def view_of(self, idx: int) -> _AdjView:
+        """Build one AS's cached adjacency view from the sorted rows."""
+        prov = tuple(
+            self.prov_tgt[int(self.prov_off[idx]):int(self.prov_off[idx + 1])]
+            .tolist()
+        )
+        cust = tuple(
+            self.cust_tgt[int(self.cust_off[idx]):int(self.cust_off[idx + 1])]
+            .tolist()
+        )
+        peer = tuple(
+            self.peer_tgt[int(self.peer_off[idx]):int(self.peer_off[idx + 1])]
+            .tolist()
+        )
+        return (prov, cust, peer, tuple(sorted(prov + cust + peer)))
 
 
 class ASGraph:
@@ -37,14 +267,103 @@ class ASGraph:
 
     Relationships are stored from each endpoint's viewpoint:
     ``graph.relationship(a, b)`` answers "what is *b* to *a*?".
+
+    Internally the adjacency lives on an int-indexed CSR base plus a
+    small mutation overlay (see the module docstring); the public API —
+    including :attr:`version` semantics, error types, and the order of
+    every enumeration — is identical to the retained dict-of-dicts
+    reference implementation.
     """
 
     def __init__(self) -> None:
-        self._nbr: Dict[ASN, Dict[ASN, Relationship]] = {}
+        #: Live AS registry in insertion order (the dict-of-dicts key
+        #: order the reference implementation iterated in).
+        self._live: Dict[ASN, None] = {}
+        #: Per-AS replacement rows masking the base (delta overlay).
+        self._overlay: Dict[ASN, Dict[ASN, Relationship]] = {}
+        self._base: Optional[_CSRBase] = None
         self._version = 0
         self._views: Dict[ASN, _AdjView] = {}
         self._ases: Optional[Tuple[ASN, ...]] = None
         self._tier1s: Optional[Tuple[ASN, ...]] = None
+
+    # ------------------------------------------------------------------
+    # CSR lifecycle
+    # ------------------------------------------------------------------
+
+    def _overlay_heavy(self) -> bool:
+        return self._base is None or (
+            len(self._overlay) * 8 > len(self._live)
+        )
+
+    def _compact(self) -> None:
+        self._base = _CSRBase.from_rows(list(self._live), self._row_items)
+        self._overlay.clear()
+
+    def compact(self) -> "ASGraph":
+        """Fold pending overlay edits into a fresh CSR base (idempotent).
+
+        Queries compact lazily on their own; calling this explicitly is
+        only needed before exporting the CSR arrays (shared memory) or
+        when benchmarking the fold itself.  Returns ``self``.
+        """
+        if self._overlay or self._base is None:
+            self._compact()
+        return self
+
+    def csr_base(self) -> _CSRBase:
+        """The compacted CSR snapshot (compacting first if needed).
+
+        The returned object is immutable and remains valid — and
+        correct for the topology at the moment of the call — no matter
+        how the graph is mutated afterwards.  Used by
+        :mod:`repro.topology.shm` to export the arrays.
+        """
+        self.compact()
+        assert self._base is not None
+        return self._base
+
+    @classmethod
+    def _from_csr_base(cls, base: _CSRBase) -> "ASGraph":
+        """Wrap an existing CSR snapshot (shared-memory attach path)."""
+        graph = cls()
+        graph._live = dict.fromkeys(base.asns)
+        graph._base = base
+        return graph
+
+    # ------------------------------------------------------------------
+    # Row access (insertion-ordered, overlay-masked)
+    # ------------------------------------------------------------------
+
+    def _row_items(self, asn: ASN) -> List[Tuple[ASN, Relationship]]:
+        row = self._overlay.get(asn)
+        if row is not None:
+            return list(row.items())
+        base = self._base
+        if base is not None:
+            idx = base.index.get(asn)
+            if idx is not None:
+                return base.row_pairs(idx)
+        return []
+
+    def _rel_lookup(self, a: ASN, b: ASN) -> Optional[Relationship]:
+        row = self._overlay.get(a)
+        if row is not None:
+            return row.get(b)
+        base = self._base
+        if base is not None:
+            idx = base.index.get(a)
+            if idx is not None:
+                return base.rel_of(idx, b)
+        return None
+
+    def _materialize(self, asn: ASN) -> Dict[ASN, Relationship]:
+        """The AS's row as an editable overlay dict (copy-on-write)."""
+        row = self._overlay.get(asn)
+        if row is None:
+            row = dict(self._row_items(asn))
+            self._overlay[asn] = row
+        return row
 
     # ------------------------------------------------------------------
     # Construction
@@ -59,8 +378,12 @@ class ASGraph:
 
     def add_as(self, asn: ASN) -> None:
         """Add an AS with no links (idempotent)."""
-        if asn not in self._nbr:
-            self._nbr[asn] = {}
+        if asn not in self._live:
+            self._live[asn] = None
+            # A fresh (or re-added) AS always gets an overlay row: a
+            # stale base row from before a removal must never show
+            # through.
+            self._overlay[asn] = {}
             self._invalidate()
 
     def add_c2p(self, customer: ASN, provider: ASN) -> None:
@@ -80,37 +403,47 @@ class ASGraph:
             raise TopologyError(f"self-link at AS {a}")
         self.add_as(a)
         self.add_as(b)
-        existing = self._nbr[a].get(b)
+        existing = self._rel_lookup(a, b)
         if existing is not None:
             if existing is not rel_of_b:
                 raise TopologyError(
                     f"link {a}-{b} already exists with relationship {existing.value}"
                 )
             return
-        self._nbr[a][b] = rel_of_b
-        self._nbr[b][a] = rel_of_b.inverse
+        self._materialize(a)[b] = rel_of_b
+        self._materialize(b)[a] = rel_of_b.inverse
         self._invalidate()
 
     def remove_link(self, a: ASN, b: ASN) -> None:
         """Remove the link between two ASes."""
         if not self.has_link(a, b):
             raise UnknownLinkError(f"no link {a}-{b}")
-        del self._nbr[a][b]
-        del self._nbr[b][a]
+        del self._materialize(a)[b]
+        del self._materialize(b)[a]
         self._invalidate()
 
     def remove_as(self, asn: ASN) -> None:
         """Remove an AS and all of its links."""
         self._require(asn)
-        for nbr in list(self._nbr[asn]):
-            del self._nbr[nbr][asn]
-        del self._nbr[asn]
+        for nbr, _rel in self._row_items(asn):
+            del self._materialize(nbr)[asn]
+        self._overlay.pop(asn, None)
+        del self._live[asn]
         self._invalidate()
 
     def copy(self) -> "ASGraph":
-        """Deep copy of the graph (caches are rebuilt lazily)."""
+        """Deep copy of the graph (caches are rebuilt lazily).
+
+        The immutable CSR base is shared with the clone; overlay rows
+        are copied.  Mutations on either side only ever touch their own
+        overlay, so the clone is fully independent.
+        """
         clone = ASGraph()
-        clone._nbr = {asn: dict(nbrs) for asn, nbrs in self._nbr.items()}
+        clone._live = dict.fromkeys(self._live)
+        clone._base = self._base
+        clone._overlay = {
+            asn: dict(row) for asn, row in self._overlay.items()
+        }
         return clone
 
     # ------------------------------------------------------------------
@@ -123,70 +456,79 @@ class ASGraph:
         return self._version
 
     def _require(self, asn: ASN) -> None:
-        if asn not in self._nbr:
+        if asn not in self._live:
             raise UnknownASError(f"AS {asn} not in graph")
 
     def __contains__(self, asn: ASN) -> bool:
-        return asn in self._nbr
+        return asn in self._live
 
     def __len__(self) -> int:
-        return len(self._nbr)
+        return len(self._live)
 
     def __iter__(self) -> Iterator[ASN]:
-        return iter(self._nbr)
+        return iter(self._live)
 
     @property
     def ases(self) -> Tuple[ASN, ...]:
         """All AS numbers, sorted (stable iteration for seeded runs)."""
         if self._ases is None:
-            self._ases = tuple(sorted(self._nbr))
+            self._ases = tuple(sorted(self._live))
         return self._ases
 
     def has_link(self, a: ASN, b: ASN) -> bool:
         """Whether a direct link exists between two ASes."""
-        return a in self._nbr and b in self._nbr[a]
+        return a in self._live and self._rel_lookup(a, b) is not None
 
     def relationship(self, a: ASN, b: ASN) -> Relationship:
         """What *b* is to *a* (customer, peer, or provider)."""
         self._require(a)
-        try:
-            return self._nbr[a][b]
-        except KeyError:
-            raise UnknownLinkError(f"no link {a}-{b}") from None
+        rel = self._rel_lookup(a, b)
+        if rel is None:
+            raise UnknownLinkError(f"no link {a}-{b}")
+        return rel
 
     def neighbor_relationships(self, asn: ASN) -> Dict[ASN, Relationship]:
         """Fresh ``{neighbor: relationship}`` mapping of one AS.
 
-        One C-level dict copy of the adjacency row — the cheap way for
-        speakers to seed their per-neighbor tables eagerly instead of
-        one :meth:`relationship` call per neighbor.
+        One pass over the AS's row — the cheap way for speakers to seed
+        their per-neighbor tables eagerly instead of one
+        :meth:`relationship` call per neighbor.
         """
         self._require(asn)
-        return dict(self._nbr[asn])
+        return dict(self._row_items(asn))
 
     def _view(self, asn: ASN) -> _AdjView:
         view = self._views.get(asn)
         if view is None:
             self._require(asn)
-            providers: List[ASN] = []
-            customers: List[ASN] = []
-            peers: List[ASN] = []
-            for nbr, rel in self._nbr[asn].items():
-                if rel is Relationship.PROVIDER:
-                    providers.append(nbr)
-                elif rel is Relationship.CUSTOMER:
-                    customers.append(nbr)
-                else:
-                    peers.append(nbr)
-            providers.sort()
-            customers.sort()
-            peers.sort()
-            view = (
-                tuple(providers),
-                tuple(customers),
-                tuple(peers),
-                tuple(sorted(self._nbr[asn])),
-            )
+            if self._base is None or (
+                asn in self._overlay and self._overlay_heavy()
+            ):
+                self._compact()
+            row = self._overlay.get(asn)
+            if row is None:
+                assert self._base is not None
+                view = self._base.view_of(self._base.index[asn])
+            else:
+                providers: List[ASN] = []
+                customers: List[ASN] = []
+                peers: List[ASN] = []
+                for nbr, rel in row.items():
+                    if rel is Relationship.PROVIDER:
+                        providers.append(nbr)
+                    elif rel is Relationship.CUSTOMER:
+                        customers.append(nbr)
+                    else:
+                        peers.append(nbr)
+                providers.sort()
+                customers.sort()
+                peers.sort()
+                view = (
+                    tuple(providers),
+                    tuple(customers),
+                    tuple(peers),
+                    tuple(sorted(row)),
+                )
             self._views[asn] = view
         return view
 
@@ -209,7 +551,15 @@ class ASGraph:
     def degree(self, asn: ASN) -> int:
         """Number of neighbors."""
         self._require(asn)
-        return len(self._nbr[asn])
+        row = self._overlay.get(asn)
+        if row is not None:
+            return len(row)
+        base = self._base
+        if base is not None:
+            idx = base.index.get(asn)
+            if idx is not None:
+                return base.degree_of(idx)
+        return 0
 
     def is_multihomed(self, asn: ASN) -> bool:
         """Whether the AS has two or more providers."""
@@ -239,7 +589,7 @@ class ASGraph:
         out: List[Tuple[ASN, ASN, Relationship]] = []
         seen: Set[Link] = set()
         for a in self.ases:
-            for b, rel in self._nbr[a].items():
+            for b, rel in self._row_items(a):
                 key = normalize_link(a, b)
                 if key in seen:
                     continue
@@ -281,7 +631,7 @@ class ASGraph:
         Raises :class:`CyclicHierarchyError` when the hierarchy is cyclic.
         """
         # indegree counts customers still unprocessed below each provider.
-        indegree: Dict[ASN, int] = {asn: 0 for asn in self._nbr}
+        indegree: Dict[ASN, int] = {asn: 0 for asn in self._live}
         for _, provider in self.iter_c2p():
             indegree[provider] += 1
         ready = sorted(asn for asn, deg in indegree.items() if deg == 0)
@@ -294,14 +644,14 @@ class ASGraph:
                 indegree[provider] -= 1
                 if indegree[provider] == 0:
                     queue.append(provider)
-        if len(order) != len(self._nbr):
+        if len(order) != len(self._live):
             raise CyclicHierarchyError("customer-provider hierarchy contains a cycle")
         return order
 
     def iter_c2p(self) -> Iterator[Link]:
         """Iterate over every c2p link, customer first."""
-        for a in self._nbr:
-            for b, rel in self._nbr[a].items():
+        for a in self._live:
+            for b, rel in self._row_items(a):
                 if rel is Relationship.PROVIDER:
                     yield (a, b)
 

@@ -1,0 +1,321 @@
+"""Zero-copy topology fan-out over ``multiprocessing.shared_memory``.
+
+The supervised pool used to hand every worker its own pickled copy of
+the AS graph (``graph_to_bytes`` → fork → ``graph_from_bytes``): at
+Internet scale that is tens of megabytes deserialized once per worker,
+again after every worker death.  With the CSR core the entire adjacency
+is a handful of flat int arrays, so the campaign can instead publish
+them **once** into a named shared-memory segment and have each worker
+map the same physical pages read-only — attach is O(1) in topology
+size when numpy is available (``frombuffer`` views straight into the
+segment), and a plain copy otherwise.
+
+Segment layout (native byte order — a segment never leaves the
+machine that created it)::
+
+    magic   8 bytes   b"RPROCSR1"
+    header  5 int64   n_as, n_nbr, n_prov, n_cust, n_peer
+    int64   asns[n_as]                    dense index -> ASN
+    int64   nbr_off[n_as+1]               insertion-order neighbor CSR
+    int64   nbr_tgt[n_nbr]                  (targets are dense indices)
+    int64   prov_off[n_as+1], prov_tgt[n_prov]   sorted-ASN rows per
+    int64   cust_off[n_as+1], cust_tgt[n_cust]   relationship class
+    int64   peer_off[n_as+1], peer_tgt[n_peer]
+    int8    nbr_rel[n_nbr]                relationship codes (trailing
+                                          so every int64 array stays
+                                          8-byte aligned)
+
+Lifecycle contract:
+
+* the **campaign** (supervisor) is the only creator and the only
+  unlinker: :func:`share_graph` before the first dispatch,
+  ``SharedGraph.destroy()`` in the pool's ``finally`` — so the segment
+  is removed even when every worker was ``kill -9``-ed mid-unit;
+* **workers** only ever attach (:func:`attach_graph`) and close; an
+  attach explicitly unregisters from the ``resource_tracker`` because
+  Python < 3.13 registers attachers as if they were owners, and a
+  tracker-driven unlink at worker exit would tear the segment out from
+  under its siblings;
+* the graph a worker gets is served from read-only array views —
+  simulations never mutate the topology, and even a mutation would go
+  through the graph's copy-on-write overlay, never the shared pages.
+
+``REPRO_NO_SHM=1`` (checked by the supervisor, not here) forces the
+legacy pickled-bytes path; :func:`shared_memory_available` probes
+whether the platform can create segments at all (some sandboxes mount
+no ``/dev/shm``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional
+
+from repro.topology.graph import ASGraph, _CSRBase, _np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+_MAGIC = b"RPROCSR1"
+_HEADER_FIELDS = 5
+_HEADER_END = len(_MAGIC) + _HEADER_FIELDS * 8
+
+
+def shared_memory_available() -> bool:
+    """Whether this platform can create shared-memory segments."""
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except Exception:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+
+def _i64_bytes(seq) -> bytes:
+    if _np is not None and isinstance(seq, _np.ndarray):
+        return seq.tobytes()
+    if isinstance(seq, array):
+        return seq.tobytes()
+    return array("q", seq).tobytes()
+
+
+def _i8_bytes(seq) -> bytes:
+    if _np is not None and isinstance(seq, _np.ndarray):
+        return seq.tobytes()
+    if isinstance(seq, array):
+        return seq.tobytes()
+    return array("b", seq).tobytes()
+
+
+def _encode_base(base: _CSRBase) -> bytes:
+    n_as = len(base.asns)
+    n_nbr = len(base.nbr_tgt)
+    header = array(
+        "q", [n_as, n_nbr, len(base.prov_tgt), len(base.cust_tgt),
+              len(base.peer_tgt)],
+    )
+    return b"".join(
+        (
+            _MAGIC,
+            header.tobytes(),
+            _i64_bytes(base.asns),
+            _i64_bytes(base.nbr_off),
+            _i64_bytes(base.nbr_tgt),
+            _i64_bytes(base.prov_off),
+            _i64_bytes(base.prov_tgt),
+            _i64_bytes(base.cust_off),
+            _i64_bytes(base.cust_tgt),
+            _i64_bytes(base.peer_off),
+            _i64_bytes(base.peer_tgt),
+            _i8_bytes(base.nbr_rel),
+        )
+    )
+
+
+def _decode_base(buf) -> _CSRBase:
+    view = memoryview(buf)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
+        view.release()  # keep the mapping closeable on the error path
+        raise ValueError("shared topology segment has wrong magic")
+    header = array("q")
+    header.frombytes(view[len(_MAGIC):_HEADER_END].tobytes())
+    n_as, n_nbr, n_prov, n_cust, n_peer = header.tolist()
+    offset = _HEADER_END
+
+    if _np is not None:
+        def take_i64(count: int):
+            nonlocal offset
+            arr = _np.frombuffer(
+                view, dtype=_np.int64, count=count, offset=offset
+            )
+            arr.flags.writeable = False
+            offset += count * 8
+            return arr
+
+        def take_i8(count: int):
+            nonlocal offset
+            arr = _np.frombuffer(
+                view, dtype=_np.int8, count=count, offset=offset
+            )
+            arr.flags.writeable = False
+            offset += count
+            return arr
+    else:
+        def take_i64(count: int):
+            nonlocal offset
+            arr = array("q")
+            arr.frombytes(view[offset:offset + count * 8].tobytes())
+            offset += count * 8
+            return arr
+
+        def take_i8(count: int):
+            nonlocal offset
+            arr = array("b")
+            arr.frombytes(view[offset:offset + count].tobytes())
+            offset += count
+            return arr
+
+    asns = take_i64(n_as).tolist()
+    nbr_off = take_i64(n_as + 1)
+    nbr_tgt = take_i64(n_nbr)
+    prov_off = take_i64(n_as + 1)
+    prov_tgt = take_i64(n_prov)
+    cust_off = take_i64(n_as + 1)
+    cust_tgt = take_i64(n_cust)
+    peer_off = take_i64(n_as + 1)
+    peer_tgt = take_i64(n_peer)
+    nbr_rel = take_i8(n_nbr)
+    return _CSRBase(
+        asns, nbr_off, nbr_tgt, nbr_rel,
+        prov_off, prov_tgt, cust_off, cust_tgt, peer_off, peer_tgt,
+    )
+
+
+# ----------------------------------------------------------------------
+# Creator side
+# ----------------------------------------------------------------------
+
+
+class SharedGraph:
+    """Creator-side handle of a published topology segment.
+
+    Owns the segment: :meth:`destroy` (or exiting the context manager)
+    closes the local mapping **and unlinks the name**, which is what
+    guarantees zero orphaned segments even after worker crashes — the
+    supervisor holds this handle, and workers never own anything.
+    """
+
+    def __init__(self, shm, size: int) -> None:
+        self._shm = shm
+        self.size = size
+        #: The attach-by-name key workers receive instead of a pickle.
+        #: Kept readable after :meth:`destroy` so callers can assert
+        #: the segment is really gone.
+        self.name: str = shm.name
+
+    def destroy(self) -> None:
+        """Close the mapping and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # already gone; nothing leaked
+                pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.destroy()
+
+
+def share_graph(graph: ASGraph) -> SharedGraph:
+    """Publish a graph's CSR arrays into a fresh shared-memory segment.
+
+    The graph is compacted first (folding any pending overlay edits),
+    so the segment reflects the topology exactly as of this call; later
+    mutations of ``graph`` do not leak into it.
+    """
+    if shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    payload = _encode_base(graph.csr_base())
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedGraph(shm, len(payload))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class AttachedGraph:
+    """Worker-side handle: the graph plus the mapping that backs it."""
+
+    def __init__(self, graph: ASGraph, shm) -> None:
+        self.graph = graph
+        self._shm = shm
+
+    def close(self) -> None:
+        """Drop the local mapping (never unlinks — the creator does).
+
+        Safe to call with array views still referenced somewhere: the
+        unmap is then deferred to process exit instead of raising.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self.graph = None  # type: ignore[assignment]
+        try:
+            shm.close()
+        except BufferError:
+            # numpy views into the segment are still referenced (e.g.
+            # the worker's graph is still in scope).  Defer the unmap
+            # to process exit, and disarm SharedMemory.__del__ so it
+            # does not retry and spray "Exception ignored" noise.
+            shm._buf = None
+            shm._mmap = None
+
+    def __enter__(self) -> "AttachedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_graph(name: str) -> AttachedGraph:
+    """Attach to a published topology segment by name (zero-copy).
+
+    With numpy present the returned graph's CSR arrays are read-only
+    views directly into the shared pages; the pure-Python fallback
+    copies them out (correct, just not zero-copy).  Raises
+    ``FileNotFoundError`` when no segment of that name exists — e.g.
+    after the owning campaign destroyed it.
+    """
+    if shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = shared_memory.SharedMemory(name=name)
+    # Python < 3.13 registers *attachers* with the resource tracker as
+    # if they owned the segment.  Within one fork family that is
+    # harmless — every process talks to the same tracker, whose cache
+    # is a set, so N attach registrations deduplicate against the
+    # creator's and the creator's unlink retires the name exactly once.
+    # It is even useful: if the whole family dies without unlinking,
+    # the tracker reaps the segment at shutdown (crash-safe cleanup).
+    # Explicitly unregistering here would instead *remove* the
+    # creator's registration and make its own unlink race the tracker.
+    try:
+        base = _decode_base(shm.buf)
+    except BaseException:
+        try:
+            shm.close()
+        except BufferError:
+            # The raised exception's traceback frames can pin a view of
+            # the buffer; defer the unmap to process exit (see
+            # AttachedGraph.close) rather than masking the real error.
+            shm._buf = None
+            shm._mmap = None
+        raise
+    return AttachedGraph(ASGraph._from_csr_base(base), shm)

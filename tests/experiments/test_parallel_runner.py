@@ -130,3 +130,46 @@ class TestScale5Smoke:
         data = fig2_single_link_failure(config, graph=graph)
         measured = data.mean_affected()
         assert measured["bgp"] > measured["stamp"]
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_SLOW", "0") != "1",
+    reason="scale-20 smoke takes minutes; set REPRO_RUN_SLOW=1",
+)
+class TestScale20Smoke:
+    """Internet-scale coverage of the CSR core: a scale-20 (~12.3k AS)
+    topology must build, compact, publish over shared memory, and run
+    a smoke campaign through the supervised pool."""
+
+    SCALE20 = InternetTopologyConfig(
+        seed=0, n_tier1=20, n_tier2=960, n_tier3=2400, n_stub=8800
+    )
+
+    def test_generation_compaction_and_sharing(self):
+        graph, _ = generate_internet_topology(self.SCALE20)
+        assert len(graph) == 20 + 960 + 2400 + 8800
+        graph.compact()
+        assert graph.tier1s() == tuple(range(1, 21))
+        from repro.topology.shm import (
+            attach_graph,
+            share_graph,
+            shared_memory_available,
+        )
+
+        if shared_memory_available():
+            with share_graph(graph) as shared:
+                with attach_graph(shared.name) as attached:
+                    assert len(attached.graph) == len(graph)
+                    asn = graph.ases[len(graph) // 2]
+                    assert attached.graph.neighbors(asn) == graph.neighbors(asn)
+
+    def test_one_fig2_instance_campaign(self):
+        graph, _ = generate_internet_topology(self.SCALE20)
+        config = ExperimentConfig(
+            seed=0, topology=self.SCALE20, n_instances=1,
+            protocols=("bgp", "stamp"), workers=2,
+        )
+        data = fig2_single_link_failure(config, graph=graph)
+        measured = data.mean_affected()
+        assert measured["bgp"] > measured["stamp"]

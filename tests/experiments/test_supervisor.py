@@ -411,3 +411,120 @@ class TestCooperativeStop:
             timer.cancel()
         assert outcome.stopped
         assert elapsed < 10.0  # nowhere near the 30s backoff
+
+
+class TestSharedMemoryLifecycle:
+    """The zero-copy topology fan-out contract (see repro.topology.shm).
+
+    The campaign owns exactly one segment: created before the first
+    dispatch, attached by name from every worker, unlinked in the
+    pool's ``finally`` — so no campaign outcome (clean, chaotic, or a
+    worker massacre) may leave an orphaned segment, and the dispatch
+    path must never fall back to per-worker pickles silently.
+    """
+
+    @staticmethod
+    def _spy_share(monkeypatch):
+        """Record every segment the supervisor publishes."""
+        from repro.experiments import supervisor as supervisor_mod
+        from repro.topology import shm as topology_shm
+
+        created = []
+        real = topology_shm.share_graph
+
+        def recording_share(graph):
+            shared = real(graph)
+            created.append(shared.name)
+            return shared
+
+        monkeypatch.setattr(
+            supervisor_mod.topology_shm, "share_graph", recording_share
+        )
+        return created
+
+    @staticmethod
+    def _forbid_dispatch_pickle(monkeypatch):
+        """No per-worker graph pickle may happen in the dispatch path."""
+        from repro.experiments import supervisor as supervisor_mod
+
+        def forbidden(graph):
+            raise AssertionError(
+                "graph_to_bytes called in the dispatch path: the "
+                "shared-memory fan-out was supposed to replace it"
+            )
+
+        monkeypatch.setattr(supervisor_mod, "graph_to_bytes", forbidden)
+
+    @staticmethod
+    def _assert_unlinked(names):
+        from repro.topology.shm import attach_graph
+
+        assert names, "campaign never published a topology segment"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                attach_graph(name)
+
+    def test_pool_attaches_segment_and_unlinks_after_campaign(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        created = self._spy_share(monkeypatch)
+        self._forbid_dispatch_pickle(monkeypatch)
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+        assert len(created) == 1  # one zero-copy segment per campaign
+        self._assert_unlinked(created)
+
+    def test_no_segment_leak_after_worker_kill(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        """Workers dying uncatchably — a hard ``os._exit`` mid-unit and
+        a supervisor SIGKILL of a hung worker — must not leak the
+        segment: only the supervisor owns it, and its ``finally``
+        unlinks no matter how many workers were replaced."""
+        created = self._spy_share(monkeypatch)
+        monkeypatch.setenv(FAULTS_ENV, combine_specs(
+            fault_spec("exit", instance=0, protocol="stamp", scope="worker"),
+            fault_spec("hang", instance=2, protocol="bgp",
+                       scope="worker", hang_seconds=30.0),
+        ))
+        outcome = _campaign(_chaos_runner(unit_timeout=1.0), tiny_graph)
+        causes = {
+            (f.instance, f.protocol): [a.cause for a in f.attempts]
+            for f in outcome.failures
+        }
+        assert causes == {
+            (0, "stamp"): ["worker-death", "worker-death"],
+            (2, "bgp"): ["timeout", "timeout"],
+        }
+        # Survivors are byte-identical; the segment is gone.
+        stats = _stats(outcome)
+        assert stats["bgp"] == [baseline["bgp"][0], baseline["bgp"][1]]
+        assert stats["stamp"] == [baseline["stamp"][1], baseline["stamp"][2]]
+        self._assert_unlinked(created)
+
+    def test_pickle_fallback_is_byte_identical(
+        self, tiny_graph, baseline, monkeypatch
+    ):
+        """REPRO_NO_SHM=1 forces the legacy pickled-topology transport;
+        results must not change by a byte."""
+        created = self._spy_share(monkeypatch)
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        outcome = _campaign(_chaos_runner(), tiny_graph)
+        assert outcome.complete
+        assert _stats(outcome) == baseline
+        assert created == []  # no segment was ever published
+
+    @pytest.mark.parametrize("workers", (0, 4))
+    def test_transports_agree_at_workers_0_and_4(
+        self, tiny_graph, baseline, monkeypatch, workers
+    ):
+        """Acceptance: campaign fixtures byte-identical on the CSR core
+        at workers in {0, 4}, shared-memory and pickle transports."""
+        shm_outcome = _campaign(_chaos_runner(workers=workers), tiny_graph)
+        assert shm_outcome.complete
+        assert _stats(shm_outcome) == baseline
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        pickle_outcome = _campaign(_chaos_runner(workers=workers), tiny_graph)
+        assert pickle_outcome.complete
+        assert _stats(pickle_outcome) == baseline

@@ -100,6 +100,31 @@ def test_scenarios_covers_the_event_model():
         assert builder in text, f"figure mapping lost {builder}"
 
 
+def test_readme_documents_real_topologies():
+    text = README.read_text()
+    assert "## Real topologies" in text
+    assert "--topology-file" in text
+    # The documented invocation must keep global options before the
+    # subcommand — argparse rejects the reverse order.
+    assert "--topology-file as_graph.txt" in text
+    assert "tests/topology/data/caida_small.txt" in text
+
+
+def test_architecture_covers_the_topology_core():
+    """The topology section must document the CSR storage, the delta
+    overlay, the shared-memory fan-out, and the CAIDA loader."""
+    text = ARCHITECTURE.read_text()
+    for topic in (
+        "CSR",
+        "delta overlay",
+        "shared_memory",
+        "`caida.py`",
+        "REPRO_NO_SHM",
+        "test_csr_equivalence.py",
+    ):
+        assert topic in text, f"architecture guide lost its {topic!r} coverage"
+
+
 def test_robustness_doc_exists():
     assert ROBUSTNESS.is_file(), "docs/robustness.md is missing"
 

@@ -1,0 +1,142 @@
+"""Unit tests of the shared-memory topology segment (single process).
+
+The cross-process lifecycle — worker attach under the supervised pool,
+unlink-after-campaign, ``kill -9`` leak checks — lives with the chaos
+suite in ``tests/experiments/test_supervisor.py``; this file pins the
+segment codec and the creator/attacher handle semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.topology import shm as topology_shm
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.topology.serialization import graph_to_bytes
+from repro.topology.shm import (
+    attach_graph,
+    share_graph,
+    shared_memory_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="platform cannot create shared-memory segments",
+)
+
+SMALL = InternetTopologyConfig(
+    seed=13, n_tier1=3, n_tier2=8, n_tier3=16, n_stub=30
+)
+
+
+@pytest.fixture()
+def graph():
+    return generate_internet_topology(SMALL)[0]
+
+
+def test_attach_is_byte_identical(graph):
+    with share_graph(graph) as shared:
+        with attach_graph(shared.name) as attached:
+            assert graph_to_bytes(attached.graph) == graph_to_bytes(graph)
+            assert attached.graph.ases == graph.ases
+            assert attached.graph.tier1s() == graph.tier1s()
+            for asn in graph.ases:
+                assert attached.graph.neighbors(asn) == graph.neighbors(asn)
+
+
+def test_attached_views_are_python_ints(graph):
+    """numpy-backed slices must not leak numpy scalars into results."""
+    with share_graph(graph) as shared:
+        with attach_graph(shared.name) as attached:
+            asn = attached.graph.ases[5]
+            for nbr in attached.graph.neighbors(asn):
+                assert type(nbr) is int
+            a, b, _ = attached.graph.links()[0]
+            assert type(a) is int and type(b) is int
+
+
+def test_share_reflects_pending_overlay_edits(graph):
+    """share_graph compacts first: overlay mutations made before the
+    call are visible to attachers; mutations *after* are not."""
+    a, b = graph.c2p_links()[0]
+    graph.remove_link(a, b)  # lives in the delta overlay
+    with share_graph(graph) as shared:
+        graph.add_c2p(a, b)  # after publish: must not leak in
+        with attach_graph(shared.name) as attached:
+            assert not attached.graph.has_link(a, b)
+
+
+def test_destroy_unlinks_segment(graph):
+    shared = share_graph(graph)
+    name = shared.name
+    shared.destroy()
+    with pytest.raises(FileNotFoundError):
+        attach_graph(name)
+    shared.destroy()  # idempotent
+
+
+def test_close_with_live_views_is_safe(graph):
+    """Closing while array views are still referenced defers the unmap
+    instead of raising — the worker-exit path."""
+    shared = share_graph(graph)
+    attached = attach_graph(shared.name)
+    live = attached.graph
+    live.neighbors(live.ases[0])
+    attached.close()  # `live` still references the arrays
+    attached.close()  # idempotent
+    shared.destroy()
+
+
+def test_wrong_magic_is_rejected(graph):
+    from multiprocessing import shared_memory as mp_shm
+
+    seg = mp_shm.SharedMemory(create=True, size=64)
+    try:
+        seg.buf[:8] = b"NOTAGRPH"
+        with pytest.raises(ValueError, match="magic"):
+            attach_graph(seg.name)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def test_fallback_decode_matches_numpy_decode(graph, monkeypatch):
+    """The pure-Python (copying) attach path reads the same topology
+    the numpy (zero-copy) path does."""
+    with share_graph(graph) as shared:
+        with attach_graph(shared.name) as fast:
+            fast_bytes = graph_to_bytes(fast.graph)
+        monkeypatch.setattr(topology_shm, "_np", None)
+        with attach_graph(shared.name) as slow:
+            assert graph_to_bytes(slow.graph) == fast_bytes
+
+
+def test_fallback_encode_matches_numpy_encode(monkeypatch):
+    """A segment published by a numpy-less creator attaches identically."""
+    graph = generate_internet_topology(SMALL)[0]
+    with share_graph(graph) as shared:
+        with attach_graph(shared.name) as attached:
+            expected = graph_to_bytes(attached.graph)
+    import repro.topology.graph as graph_mod
+
+    monkeypatch.setattr(topology_shm, "_np", None)
+    monkeypatch.setattr(graph_mod, "_np", None)
+    pure = generate_internet_topology(SMALL)[0]
+    with share_graph(pure) as shared:
+        with attach_graph(shared.name) as attached:
+            assert graph_to_bytes(attached.graph) == expected
+
+
+def test_attached_graph_pickles_standalone(graph):
+    """Pickling an attached graph materializes the arrays: the pickle
+    outlives the segment (ledgered results must not dangle)."""
+    with share_graph(graph) as shared:
+        with attach_graph(shared.name) as attached:
+            payload = pickle.dumps(attached.graph)
+    restored = pickle.loads(payload)  # segment is gone by now
+    assert graph_to_bytes(restored) == graph_to_bytes(graph)
