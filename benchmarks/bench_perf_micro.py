@@ -410,6 +410,39 @@ def test_transient_analysis_stamp_episode(benchmark, graph, perf_records):
     )
 
 
+def test_transient_analysis_stamp_episode_long(benchmark, graph, perf_records):
+    """Long-horizon flap storm where boundary cost dominates.
+
+    512 phases two simulated seconds apart: each segment's trace is
+    tiny, so per-boundary work (snapshot diff, failure-set patch,
+    phase seeding/finalization) is nearly the whole bill.  Pins the
+    cross-boundary successor-table patching path — the
+    rebuild-per-boundary fallback is ~6x slower on this workload.
+    """
+    flaps = 16 if _smoke() else 256
+    episode = link_flap_episode(
+        graph, random.Random("bench:ep-long"), period=2.0, flaps=flaps
+    )
+    network, plane = build_network("stamp", graph, episode.destination, seed=0)
+    for a, b in episode.pre_failed_links:
+        network.transport.fail_link(a, b)
+    network.start()
+    segments, _ = collect_episode_segments(network, episode)
+
+    report = benchmark(
+        analyze_episode_transient_problems, segments, plane, graph.ases
+    )
+    assert report.overall.eligible
+    assert len(report.phases) == len(segments)
+    _record(
+        perf_records,
+        "transient_analysis_stamp_episode_long",
+        benchmark,
+        phases=len(segments),
+        trace_changes=sum(len(s.trace.changes) for s in segments),
+    )
+
+
 def test_stamp_provider_refresh(benchmark, graph, perf_records):
     """STAMP provider-direction refresh over the multihomed nodes.
 

@@ -64,6 +64,30 @@ class BGPDataPlane(WalkClassifier):
             bulk_fingerprint,
         )
 
+    def boundary_touched_keys(
+        self, state, old_links, old_ases, new_links, new_ases
+    ):
+        """Keys whose walk behavior a failure-set delta can change.
+
+        The successor at AS ``a`` reads only ``(a, key)`` and gates on
+        ``normalize_link(a, next_hop)`` (``a`` is an endpoint of any
+        changed link that can matter) and on ``next_hop``'s failedness
+        (found by scanning next-hop fingerprints for toggled ASes).
+        """
+        key = self.trace_key
+        delta_ases = old_ases ^ new_ases
+        touched = set()
+        for a, b in old_links ^ new_links:
+            touched.add((a, key))
+            touched.add((b, key))
+        for x in delta_ases:
+            touched.add((x, key))
+        if delta_ases:
+            for state_key, path in state.items():
+                if path and path[0] in delta_ases:
+                    touched.add(state_key)
+        return touched
+
     def classify(
         self,
         state: Dict,

@@ -164,6 +164,45 @@ class RBGPDataPlane(WalkClassifier):
             bulk_fingerprint,
         )
 
+    def boundary_touched_keys(
+        self, state, old_links, old_ases, new_links, new_ases
+    ):
+        """Keys whose walk behavior a failure-set delta can change.
+
+        Every link check involves the forwarding AS (an endpoint of a
+        changed link, or itself toggled — ``hot``; its primary key is
+        the AS state's first read), the primary next hop (scan primary
+        fingerprints for toggled ASes), or a hop of a pinned failover
+        path (scan failover entries for hot ASes — hop-membership is a
+        superset of the per-link test since both endpoints of a
+        changed link are hot).  Without RCI the local-detector set
+        shifts too: endpoints of changed links plus, when the topology
+        is known, neighbors of toggled ASes.
+        """
+        delta_ases = set(old_ases ^ new_ases)
+        hot = set(delta_ases)
+        for a, b in old_links ^ new_links:
+            hot.add(a)
+            hot.add(b)
+        touched = {(x, PRIMARY) for x in hot}
+        if not self.rci and self.graph is not None:
+            for x in delta_ases:
+                if x in self.graph:
+                    for neighbor in self.graph.neighbors(x):
+                        touched.add((neighbor, PRIMARY))
+        for state_key, value in state.items():
+            if state_key[1] == PRIMARY:
+                if value and value[0] in delta_ases:
+                    touched.add(state_key)
+            elif state_key[0] in hot:
+                touched.add(state_key)
+            elif value:
+                for _, path in value:
+                    if any(hop in hot for hop in path):
+                        touched.add(state_key)
+                        break
+        return touched
+
     def classify(
         self,
         state: Dict,

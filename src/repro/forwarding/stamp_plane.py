@@ -130,6 +130,9 @@ class _SuccessorTable:
         "srows",
         "nred",
         "nblue",
+        "hop_red",
+        "hop_blue",
+        "hop_preds",
         "ured",
         "ublue",
         "succ",
@@ -180,6 +183,13 @@ class _SuccessorTable:
         self.pos = pos
         self.nred = [-1] * n
         self.nblue = [-1] * n
+        #: Raw next-hop ASNs (failure-independent, unlike nred/nblue
+        #: which bake in usability) plus the reverse hop index — what
+        #: :meth:`apply_boundary` needs to find the entries a restored
+        #: link or AS can resurrect.
+        self.hop_red: List[Optional[ASN]] = [None] * n
+        self.hop_blue: List[Optional[ASN]] = [None] * n
+        self.hop_preds: Dict[ASN, set] = {}
         self.ured = [False] * n
         self.ublue = [False] * n
         self.succ = [-1] * (4 * n)
@@ -197,15 +207,27 @@ class _SuccessorTable:
         check_links = self.check_links
         blocked_pairs = self.blocked_pairs
         pos_get = pos.get
+        hop_red = self.hop_red
+        hop_blue = self.hop_blue
+        hop_preds = self.hop_preds
+        hop_preds_get = hop_preds.get
         for i, asn in enumerate(asns):
             kr, kb, kur, kub = keys_of(asn)
             # Inlined _target for both colors (the build loop runs per
-            # session and per one-shot batch classification).
-            for key, nexts in ((kr, nred), (kb, nblue)):
+            # session and per one-shot batch classification).  The raw
+            # hop is indexed even when the failure sets block it: a
+            # later boundary restore must be able to find the entry.
+            for key, nexts, hops in ((kr, nred, hop_red), (kb, nblue, hop_blue)):
                 path = state_get(key)
                 if not path:
                     continue  # already -1
                 hop = path[0]
+                hops[i] = hop
+                entries = hop_preds_get(hop)
+                if entries is None:
+                    hop_preds[hop] = {i}
+                else:
+                    entries.add(i)
                 if check_links and (
                     hop in failed_ases
                     or asn in failed_ases
@@ -224,11 +246,15 @@ class _SuccessorTable:
         for i in range(n):
             self._recompose(i)
 
-    def _target(self, asn: ASN, path) -> int:
-        """State-index base of a route's next hop, or ``-1`` unusable."""
-        if not path:
+    def _usable(self, asn: ASN, hop: Optional[ASN]) -> int:
+        """State-index base of a raw next hop, or ``-1`` unusable.
+
+        The failure check runs *before* the universe lookup, matching
+        the build loop exactly: a failure-blocked out-of-universe hop
+        does not break the table, an unblocked one does.
+        """
+        if hop is None:
             return -1
-        hop = path[0]
         if self.check_links and (
             hop in self.failed_ases
             or asn in self.failed_ases
@@ -243,6 +269,32 @@ class _SuccessorTable:
             self.broken = True
             return -1
         return 4 * j
+
+    def _target(self, asn: ASN, path) -> int:
+        """State-index base of a route's next hop, or ``-1`` unusable."""
+        return self._usable(asn, path[0] if path else None)
+
+    def _set_hop(self, i: int, hop: Optional[ASN], arr, other) -> None:
+        """Write one raw-hop entry, maintaining the reverse hop index.
+
+        ``other`` is the sibling color's hop array: the old reverse
+        edge survives while the sibling still points at the same hop.
+        """
+        old = arr[i]
+        if old == hop:
+            return
+        arr[i] = hop
+        hop_preds = self.hop_preds
+        if old is not None and other[i] != old:
+            entries = hop_preds.get(old)
+            if entries is not None:
+                entries.discard(i)
+        if hop is not None:
+            entries = hop_preds.get(hop)
+            if entries is None:
+                hop_preds[hop] = {i}
+            else:
+                entries.add(i)
 
     def _set_succ(self, sid: int, new: int) -> None:
         """Write one successor entry, maintaining the reverse index.
@@ -345,9 +397,13 @@ class _SuccessorTable:
             self.start_dirty.add(i)
         tag = key[1]
         if tag is _RED:
-            self.nred[i] = self._target(key[0], value)
+            hop = value[0] if value else None
+            self._set_hop(i, hop, self.hop_red, self.hop_blue)
+            self.nred[i] = self._usable(key[0], hop)
         elif tag is _BLUE:
-            self.nblue[i] = self._target(key[0], value)
+            hop = value[0] if value else None
+            self._set_hop(i, hop, self.hop_blue, self.hop_red)
+            self.nblue[i] = self._usable(key[0], hop)
         elif tag[1] is _RED:
             # An instability flip touches exactly one state's entry
             # (the color's unswitched state; switched states and the
@@ -403,6 +459,75 @@ class _SuccessorTable:
             self._set_succ(b, target)
         self.codes[b] = code
         self.reads[b] = self.rows[i][5 + code]
+
+    def apply_boundary(self, failed_links, failed_ases) -> None:
+        """Patch the table for new failure sets (a phase boundary).
+
+        Successor and start entries depend on the failure sets only
+        through ``nred``/``nblue`` usability, so a boundary delta
+        invalidates exactly the entries whose inputs it touched: ASes
+        named by a changed link or failure, plus — via the reverse hop
+        index — every AS whose raw next hop is a toggled AS.  Each
+        affected entry re-derives its usability under the new sets and
+        recomposes on a real change; in propagation mode that marks the
+        reverse closure dirty for the next
+        :meth:`collect_transitions`, exactly the trace-change
+        discipline.  A restore that unblocks an out-of-universe hop
+        sets ``broken`` (a fresh build would have), telling callers to
+        fall back to a rebuild.
+        """
+        if self.broken:
+            return
+        new_blocked = (
+            frozenset(
+                pair for a, b in failed_links for pair in ((a, b), (b, a))
+            )
+            if failed_links
+            else frozenset()
+        )
+        old_blocked = self.blocked_pairs
+        old_failed = self.failed_ases
+        if new_blocked == old_blocked and failed_ases == old_failed:
+            return
+        affected: set = set()
+        pos_get = self.pos.get
+        for a, _b in old_blocked ^ new_blocked:
+            i = pos_get(a)
+            if i is not None:
+                affected.add(i)
+        hop_preds_get = self.hop_preds.get
+        for x in old_failed ^ failed_ases:
+            i = pos_get(x)
+            if i is not None:
+                affected.add(i)
+            entries = hop_preds_get(x)
+            if entries:
+                affected |= entries
+        self.failed_ases = failed_ases
+        self.blocked_pairs = new_blocked
+        self.check_links = bool(new_blocked) or bool(failed_ases)
+        if not affected:
+            return
+        nred = self.nred
+        nblue = self.nblue
+        hop_red = self.hop_red
+        hop_blue = self.hop_blue
+        asns = self.asns
+        usable = self._usable
+        start_sid = self.start_sid
+        start_dirty = self.start_dirty
+        for i in affected:
+            asn = asns[i]
+            nr = usable(asn, hop_red[i])
+            nb = usable(asn, hop_blue[i])
+            if self.broken:
+                return
+            if nr != nred[i] or nb != nblue[i]:
+                nred[i] = nr
+                nblue[i] = nb
+                self._recompose(i)
+                if start_sid is not None:
+                    start_dirty.add(i)
 
     # ------------------------------------------------------------------
     # Incremental outcome propagation
@@ -837,6 +962,37 @@ class STAMPDataPlane(WalkClassifier):
     def _session_table(self, state, failed_links, failed_ases):
         table = _SuccessorTable(self, state, failed_links, failed_ases)
         return None if table.broken else table
+
+    def boundary_touched_keys(
+        self, state, old_links, old_ases, new_links, new_ases
+    ):
+        """Keys whose walk behavior a failure-set delta can change.
+
+        Only consulted when the session runs on the closure engine (a
+        broken successor table): every usability check involves the
+        forwarding AS (hot when it is an endpoint of a changed link or
+        a toggled AS — its route keys are always the state's first
+        reads) or the route's next hop (found by scanning route-key
+        fingerprints for toggled ASes).
+        """
+        delta_ases = set(old_ases ^ new_ases)
+        hot = set(delta_ases)
+        for a, b in old_links ^ new_links:
+            hot.add(a)
+            hot.add(b)
+        touched: set = set()
+        for x in hot:
+            touched.add((x, _RED))
+            touched.add((x, _BLUE))
+        if delta_ases:
+            for state_key, value in state.items():
+                if (
+                    type(state_key[1]) is Color
+                    and value
+                    and value[0] in delta_ases
+                ):
+                    touched.add(state_key)
+        return touched
 
     def _walk_spec(self, state, failed_links, failed_ases) -> WalkSpec:
         destination = self.destination

@@ -455,6 +455,23 @@ class AnalysisSession:
         self.state = state
         self.spec = self.plane._walk_spec(state, self.failed_links, self.failed_ases)
 
+    def reset_failures(self, state: Dict, failed_links, failed_ases) -> None:
+        """Rebind the session to a new snapshot *and* new failure sets.
+
+        The episode engine's boundary fast path: the spec's closures
+        bake the failure sets in, so they are rebuilt once per
+        boundary; everything else the session holds survives — the
+        ``_prev`` cache only reuses dependency-set objects on equal
+        reads (outcomes are always recomputed), and the successor
+        table, if any, must have been patched separately
+        (:meth:`repro.forwarding.stamp_plane._SuccessorTable
+        .apply_boundary`).
+        """
+        self.state = state
+        self.failed_links = failed_links
+        self.failed_ases = failed_ases
+        self.spec = self.plane._walk_spec(state, failed_links, failed_ases)
+
     def ensure_table(self):
         """Build (once) and return this session's successor table.
 
@@ -777,6 +794,28 @@ class WalkClassifier:
         the default ``None`` keeps the closure engine.
         """
         del state, failed_links, failed_ases
+        return None
+
+    def boundary_touched_keys(
+        self,
+        state: Dict,
+        old_links: FrozenSet,
+        old_ases: FrozenSet,
+        new_links: FrozenSet,
+        new_ases: FrozenSet,
+    ) -> Optional[Set]:
+        """Keys whose walk behavior a failure-set delta can change.
+
+        Soundness contract: for every source whose outcome differs
+        between the old and the new failure sets over the *same*
+        snapshot, at least one key of its recorded dependency set
+        (under the old sets) must be returned — the episode engine
+        re-walks exactly the dependents of these keys at a phase
+        boundary instead of rescanning everything.  The default
+        ``None`` means the plane cannot bound the delta and the engine
+        rebuilds per segment (the tested fallback).
+        """
+        del state, old_links, old_ases, new_links, new_ases
         return None
 
     def _batch_classify(

@@ -1,0 +1,497 @@
+"""Fuzzed differential wall for cross-boundary session patching.
+
+The episode analyzer carries its walk session, fingerprint store,
+successor table, and dependency index *across* phase boundaries as a
+patch (:meth:`repro.analysis.transient._IncrementalScan
+._patch_segment`) instead of rebuilding per segment.  These tests pin
+that machinery against the brute-force reference twin on seeded random
+episodes — mixed link/AS fail and restore events, 2–64 phases, silent
+restores and re-fails — across every plane, and pin the individual
+load-bearing pieces:
+
+* the patched path produces reports identical to the forced-rebuild
+  path (and is actually taken);
+* a successor table broken *mid-episode* falls back to the closure
+  engine and stays correct across later boundaries;
+* everything holds with numpy absent (pure-Python table rows);
+* property (hypothesis): a boundary delta's invalidation set always
+  contains every source whose outcome the delta changed — for the
+  STAMP table's ``apply_boundary`` and for every plane's
+  ``boundary_touched_keys`` hook against its recorded dependency sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.analysis.transient as transient
+import repro.forwarding.stamp_plane as stamp_plane
+import repro.forwarding.walk as walk
+from repro.analysis.transient import (
+    EpisodeSegment,
+    _IncrementalScan,
+    _reference_analyze_episode_transient_problems,
+    analyze_episode_transient_problems,
+)
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import collect_episode_segments
+from repro.experiments.scenarios import (
+    Episode,
+    fail_as,
+    fail_link,
+    restore_as,
+    restore_link,
+)
+from repro.forwarding.bgp_plane import BGPDataPlane
+from repro.forwarding.rbgp_plane import FAILOVER, PRIMARY, RBGPDataPlane
+from repro.forwarding.stamp_plane import STAMPDataPlane, _SuccessorTable
+from repro.sim.tracing import ForwardingChange, ForwardingTrace
+from repro.topology.generators import (
+    InternetTopologyConfig,
+    generate_internet_topology,
+)
+from repro.types import Color, Outcome, normalize_link
+
+PLANES = ("bgp", "rbgp", "rbgp-norci", "stamp")
+
+
+def _random_topology(seed: int):
+    config = InternetTopologyConfig(
+        seed=seed, n_tier1=3, n_tier2=8, n_tier3=16, n_stub=30
+    )
+    graph, _ = generate_internet_topology(config)
+    return graph
+
+
+def _random_episode(graph, rng, n_phases: int) -> Episode:
+    """A seeded random episode: one event per phase, mixed kinds.
+
+    The first three phases (when there are at least four) are a
+    deterministic fail → restore → re-fail of one link, so every
+    generated episode of that size exercises a restore boundary and a
+    re-fail boundary; the rest is a random walk over feasible events
+    (links and ASes fail and come back, never the destination).
+    """
+    links = sorted(normalize_link(a, b) for a, b, _ in graph.links())
+    candidates = [asn for asn in graph.ases if graph.is_multihomed(asn)]
+    destination = rng.choice(candidates)
+    up_links = set(links)
+    down_links: set = set()
+    up_ases = {asn for asn in graph.ases if asn != destination}
+    down_ases: set = set()
+    steps = []
+    offset = 0.0
+
+    def push(event):
+        steps.append((offset, event))
+
+    def do_fail_link():
+        link = rng.choice(sorted(up_links))
+        up_links.discard(link)
+        down_links.add(link)
+        push(fail_link(*link))
+
+    phases = []
+    if n_phases >= 4:
+        refail = rng.choice(links)
+        phases = ["refail-0", "refail-1", "refail-2"]
+    while len(phases) < n_phases:
+        phases.append("random")
+    for kind in phases:
+        offset += rng.choice([4.0, 7.0, 12.0])
+        if kind == "refail-0" or kind == "refail-2":
+            up_links.discard(refail)
+            down_links.add(refail)
+            push(fail_link(*refail))
+            continue
+        if kind == "refail-1":
+            down_links.discard(refail)
+            up_links.add(refail)
+            push(restore_link(*refail))
+            continue
+        roll = rng.random()
+        if roll < 0.40 or (not down_links and not down_ases):
+            do_fail_link()
+        elif roll < 0.65 and down_links:
+            link = rng.choice(sorted(down_links))
+            down_links.discard(link)
+            up_links.add(link)
+            push(restore_link(*link))
+        elif roll < 0.85 and len(up_ases) > 3:
+            asn = rng.choice(sorted(up_ases))
+            up_ases.discard(asn)
+            down_ases.add(asn)
+            push(fail_as(asn))
+        elif down_ases:
+            asn = rng.choice(sorted(down_ases))
+            down_ases.discard(asn)
+            up_ases.add(asn)
+            push(restore_as(asn))
+        else:
+            do_fail_link()
+    return Episode(destination=destination, steps=tuple(steps))
+
+
+def _run_segments(graph, episode, protocol: str):
+    network, plane, _ = runner_mod._acquire_started_network(
+        graph, episode.destination, protocol, 7, None,
+        episode.pre_failed_links,
+    )
+    segments, _ = collect_episode_segments(network, episode)
+    return segments, plane
+
+
+def _report_fields(report):
+    return (
+        report.eligible,
+        report.affected,
+        report.looped,
+        report.blackholed,
+        report.permanently_unreachable,
+        report.timeline,
+        report.problem_timeline,
+    )
+
+
+def _assert_matches_reference(segments, plane, ases):
+    incremental = analyze_episode_transient_problems(segments, plane, ases)
+    reference = _reference_analyze_episode_transient_problems(
+        segments, plane, ases
+    )
+    assert _report_fields(incremental.overall) == _report_fields(
+        reference.overall
+    )
+    assert len(incremental.phases) == len(reference.phases)
+    for index, (got, want) in enumerate(
+        zip(incremental.phases, reference.phases)
+    ):
+        assert _report_fields(got) == _report_fields(want), index
+    return incremental
+
+
+class TestFuzzedEpisodes:
+    """Seeded random episodes diff clean against the reference twin."""
+
+    @pytest.mark.parametrize("protocol", PLANES)
+    @pytest.mark.parametrize(
+        "seed, n_phases",
+        [(0, 2), (1, 5), (2, 9), (3, 17), (4, 33)],
+    )
+    def test_random_episodes(self, protocol, seed, n_phases):
+        graph = _random_topology(seed % 3)
+        rng = random.Random(f"fuzz:{protocol}:{seed}:{n_phases}")
+        episode = _random_episode(graph, rng, n_phases)
+        segments, plane = _run_segments(graph, episode, protocol)
+        assert len(segments) == n_phases
+        _assert_matches_reference(segments, plane, list(graph.ases))
+
+    @pytest.mark.parametrize("protocol", ("stamp", "bgp"))
+    def test_long_horizon_64_phases(self, protocol):
+        graph = _random_topology(1)
+        rng = random.Random(f"fuzz64:{protocol}")
+        episode = _random_episode(graph, rng, 64)
+        segments, plane = _run_segments(graph, episode, protocol)
+        assert len(segments) == 64
+        _assert_matches_reference(segments, plane, list(graph.ases))
+
+
+class TestPatchedVsRebuilt:
+    """``begin_segment``'s patch path equals the rebuild fallback."""
+
+    @pytest.mark.parametrize("protocol", PLANES)
+    def test_forced_rebuild_is_identical(self, monkeypatch, protocol):
+        graph = _random_topology(2)
+        rng = random.Random(f"pvr:{protocol}")
+        episode = _random_episode(graph, rng, 9)
+        segments, plane = _run_segments(graph, episode, protocol)
+        ases = list(graph.ases)
+
+        patches = []
+        original = _IncrementalScan._patch_segment
+
+        def spy(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            patches.append(result)
+            return result
+
+        monkeypatch.setattr(_IncrementalScan, "_patch_segment", spy)
+        patched = analyze_episode_transient_problems(segments, plane, ases)
+        assert patches and any(patches), "patch path was never taken"
+
+        monkeypatch.setattr(
+            _IncrementalScan,
+            "_patch_segment",
+            lambda self, *args, **kwargs: False,
+        )
+        rebuilt = analyze_episode_transient_problems(segments, plane, ases)
+        assert _report_fields(patched.overall) == _report_fields(
+            rebuilt.overall
+        )
+        for got, want in zip(patched.phases, rebuilt.phases):
+            assert _report_fields(got) == _report_fields(want)
+
+
+def _random_stamp_state(rng, n=14, destination=1):
+    """A fuzzed STAMP snapshot over ASes 1..n (arbitrary routes/flags)."""
+    ases = list(range(1, n + 1))
+    state = {}
+    for asn in ases:
+        for color in (Color.RED, Color.BLUE):
+            if rng.random() < 0.2:
+                path = None
+            else:
+                hops = rng.sample(
+                    [a for a in ases if a != asn], rng.randint(1, 3)
+                )
+                path = tuple(hops)
+            state[(asn, color)] = path
+            state[(asn, stamp_plane.unstable_key(color))] = (
+                rng.random() < 0.3
+            )
+    return ases, state
+
+
+def _broken_mid_episode_segments():
+    """Synthetic STAMP episode whose table breaks in segment 1.
+
+    Segment 1's trace introduces a next hop outside the indexed
+    universe (the one snapshot shape the successor table cannot
+    represent), forcing the mid-episode fallback to the closure
+    engine; segment 2 then crosses another boundary on the closure
+    path, exercising the STAMP ``boundary_touched_keys`` hook.
+    """
+    rng = random.Random("broken-mid")
+    ases, state = _random_stamp_state(rng)
+    link = normalize_link(2, 5)
+    seg0 = EpisodeSegment(
+        trace=ForwardingTrace(
+            changes=[ForwardingChange(1.0, 4, Color.RED, (1,))]
+        ),
+        initial_state=dict(state),
+        failed_links=frozenset({link}),
+        failed_ases=frozenset(),
+        start_time=0.0,
+    )
+    state1 = dict(state)
+    state1[(4, Color.RED)] = (1,)
+    seg1 = EpisodeSegment(
+        trace=ForwardingTrace(
+            changes=[
+                ForwardingChange(6.0, 3, Color.RED, (999,)),
+                ForwardingChange(7.0, 3, Color.RED, (2, 1)),
+            ]
+        ),
+        initial_state=dict(state1),
+        failed_links=frozenset(),
+        failed_ases=frozenset(),
+        start_time=5.0,
+    )
+    state2 = dict(state1)
+    state2[(3, Color.RED)] = (2, 1)
+    seg2 = EpisodeSegment(
+        trace=ForwardingTrace(
+            changes=[ForwardingChange(11.0, 6, Color.BLUE, None)]
+        ),
+        initial_state=dict(state2),
+        failed_links=frozenset({normalize_link(1, 3)}),
+        failed_ases=frozenset({7}),
+        start_time=10.0,
+    )
+    return ases, [seg0, seg1, seg2]
+
+
+class TestBrokenTableMidEpisode:
+    def test_fallback_matches_reference(self):
+        ases, segments = _broken_mid_episode_segments()
+        plane = STAMPDataPlane(destination=1)
+        # Sanity: the mid-episode snapshot really is unrepresentable.
+        assert (
+            plane._session_table(
+                segments[1].initial_state
+                | {(3, Color.RED): (999,)},
+                frozenset(),
+                frozenset(),
+            )
+            is None
+        )
+        _assert_matches_reference(segments, plane, ases)
+
+
+class TestNumpyAbsentParity:
+    """The boundary-patch path is numpy-optional, byte-for-byte."""
+
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(walk, "_np", None)
+        monkeypatch.setattr(stamp_plane, "_np", None)
+
+    def test_fuzzed_stamp_episode(self):
+        graph = _random_topology(0)
+        rng = random.Random("nonumpy:ep")
+        episode = _random_episode(graph, rng, 8)
+        segments, plane = _run_segments(graph, episode, "stamp")
+        _assert_matches_reference(segments, plane, list(graph.ases))
+
+    def test_broken_table_fallback(self):
+        ases, segments = _broken_mid_episode_segments()
+        plane = STAMPDataPlane(destination=1)
+        _assert_matches_reference(segments, plane, ases)
+
+    def test_apply_boundary_equals_fresh_table(self):
+        rng = random.Random("nonumpy:boundary")
+        ases, state = _random_stamp_state(rng)
+        plane = STAMPDataPlane(destination=1)
+        old = frozenset({normalize_link(2, 5)})
+        new_links = frozenset({normalize_link(3, 4)})
+        new_ases = frozenset({9})
+        table = _SuccessorTable(plane, state, old, frozenset())
+        table.activate_propagation()
+        table.apply_boundary(new_links, new_ases)
+        assert not table.broken
+        table.collect_transitions()
+        fresh = _SuccessorTable(plane, state, new_links, new_ases)
+        fresh.activate_propagation()
+        assert table.source_outcomes(ases) == fresh.source_outcomes(ases)
+
+
+def _random_failure_sets(rng, ases, destination):
+    links = frozenset(
+        normalize_link(*rng.sample(ases, 2))
+        for _ in range(rng.randint(0, 3))
+    )
+    candidates = [asn for asn in ases if asn != destination]
+    fases = frozenset(rng.sample(candidates, rng.randint(0, 2)))
+    return links, fases
+
+
+@settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000))
+def test_apply_boundary_invalidation_covers_every_changed_source(seed):
+    """apply_boundary's transitions are exactly the changed sources.
+
+    Completeness: every source whose fate the failure-set delta
+    changed must be reported (with its new fate).  Precision: only
+    changed sources are reported.  The patched table must agree with a
+    table built from scratch under the new sets for every source.
+    """
+    rng = random.Random(f"hyp:boundary:{seed}")
+    ases, state = _random_stamp_state(rng)
+    old_links, old_ases = _random_failure_sets(rng, ases, 1)
+    new_links, new_ases = _random_failure_sets(rng, ases, 1)
+    plane = STAMPDataPlane(destination=1)
+
+    before = _SuccessorTable(plane, state, old_links, old_ases)
+    assert not before.broken
+    before.activate_propagation()
+    baseline = before.source_outcomes(ases)
+
+    after = _SuccessorTable(plane, state, new_links, new_ases)
+    after.activate_propagation()
+    expected = after.source_outcomes(ases)
+
+    patched = _SuccessorTable(plane, state, old_links, old_ases)
+    patched.activate_propagation()
+    patched.apply_boundary(new_links, new_ases)
+    assert not patched.broken
+    transitions = dict(patched.collect_transitions())
+
+    for asn in ases:
+        if baseline[asn] is not expected[asn]:
+            assert transitions.get(asn) is expected[asn], asn
+    for asn, outcome in transitions.items():
+        assert baseline[asn] is not outcome, asn
+    assert patched.source_outcomes(ases) == expected
+
+
+def _random_bgp_state(rng, ases):
+    state = {}
+    for asn in ases:
+        if rng.random() < 0.25:
+            state[(asn, None)] = None
+        else:
+            hops = rng.sample([a for a in ases if a != asn], rng.randint(1, 3))
+            state[(asn, None)] = tuple(hops)
+    return state
+
+
+def _random_rbgp_state(rng, ases):
+    state = {}
+    for asn in ases:
+        others = [a for a in ases if a != asn]
+        if rng.random() < 0.25:
+            state[(asn, PRIMARY)] = None
+        else:
+            state[(asn, PRIMARY)] = tuple(
+                rng.sample(others, rng.randint(1, 3))
+            )
+        entries = []
+        for _ in range(rng.randint(0, 2)):
+            path = tuple(rng.sample(others, rng.randint(1, 3)))
+            entries.append((path[0], path))
+        state[(asn, FAILOVER)] = tuple(entries)
+    return state
+
+
+def _hook_planes():
+    graph = _random_topology(0)
+    return [
+        ("bgp", BGPDataPlane(1), _random_bgp_state),
+        ("rbgp", RBGPDataPlane(1, rci=True), _random_rbgp_state),
+        (
+            "rbgp-norci",
+            RBGPDataPlane(1, rci=False, graph=graph),
+            _random_rbgp_state,
+        ),
+        ("stamp", STAMPDataPlane(destination=1), None),
+    ]
+
+
+@settings(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000))
+def test_boundary_touched_keys_cover_every_changed_source(seed):
+    """Soundness contract of every plane's ``boundary_touched_keys``.
+
+    For each source whose outcome differs between the old and new
+    failure sets over the same snapshot, the hook must name at least
+    one key of the source's *old* recorded dependency set — that is
+    exactly what the closure engine's boundary patch re-walks.
+    """
+    rng = random.Random(f"hyp:hook:{seed}")
+    for name, plane, builder in _hook_planes():
+        if builder is None:
+            ases, state = _random_stamp_state(rng)
+        else:
+            ases = list(range(1, 15))
+            state = builder(rng, ases)
+        old_links, old_ases = _random_failure_sets(rng, ases, 1)
+        new_links, new_ases = _random_failure_sets(rng, ases, 1)
+        touched = plane.boundary_touched_keys(
+            state, old_links, old_ases, new_links, new_ases
+        )
+        assert touched is not None, name
+        old_results = plane.classify_many_recording(
+            state, ases, failed_links=old_links, failed_ases=old_ases
+        )
+        new_results = plane.classify_many_recording(
+            state, ases, failed_links=new_links, failed_ases=new_ases
+        )
+        for asn in ases:
+            if asn in old_ases or asn in new_ases:
+                continue  # toggled sources are queued separately
+            old_outcome, old_deps = old_results[asn]
+            new_outcome, _ = new_results[asn]
+            if old_outcome is new_outcome:
+                continue
+            assert set(old_deps) & touched, (name, asn)

@@ -214,3 +214,58 @@ class TestBoundaryScan:
         result = analyze_episode_transient_problems([], plane, [1, 2, 3])
         assert result.overall.eligible == set()
         assert result.phases == []
+
+    def test_no_trace_phases_leave_snapshots_untouched(self):
+        """No-trace phases: the analyzer aliases, never mutates.
+
+        The analyzer holds ``segment.initial_state`` itself as the
+        running final state when a phase's trace is empty (the old
+        defensive ``dict(...)`` copies are gone), so a mutation would
+        corrupt the caller's segments.  Also pins that a final
+        empty-trace phase still resolves permanence off the boundary
+        snapshot.
+        """
+        plane = BGPDataPlane(3)
+        state = {(1, None): (2, 3), (2, None): (3,), (3, None): ()}
+        failed = frozenset({normalize_link(1, 2)})
+        segments = [
+            EpisodeSegment(
+                trace=ForwardingTrace(
+                    changes=[ForwardingChange(0.0, 1, None, (2, 3))]
+                ),
+                initial_state=dict(state),
+                failed_links=failed,
+                failed_ases=frozenset(),
+                start_time=0.0,
+            ),
+            # Silent restore: no trace change in the whole phase.
+            EpisodeSegment(
+                trace=ForwardingTrace(),
+                initial_state=dict(state),
+                failed_links=frozenset(),
+                failed_ases=frozenset(),
+                start_time=5.0,
+            ),
+            # Silent re-fail as the *final* phase: finalize classifies
+            # the aliased boundary snapshot.
+            EpisodeSegment(
+                trace=ForwardingTrace(),
+                initial_state=dict(state),
+                failed_links=failed,
+                failed_ases=frozenset(),
+                start_time=10.0,
+            ),
+        ]
+        snapshots = [dict(segment.initial_state) for segment in segments]
+        result = analyze_episode_transient_problems(segments, plane, [1, 2, 3])
+        for segment, snapshot in zip(segments, snapshots):
+            assert segment.initial_state == snapshot
+        assert result.overall.permanently_unreachable == {1}
+        reference = _reference_analyze_episode_transient_problems(
+            segments, plane, [1, 2, 3]
+        )
+        assert _report_fields(result.overall) == _report_fields(
+            reference.overall
+        )
+        for got, want in zip(result.phases, reference.phases):
+            assert _report_fields(got) == _report_fields(want)

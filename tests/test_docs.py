@@ -20,6 +20,7 @@ ARCHITECTURE = REPO / "docs" / "architecture.md"
 SCENARIOS = REPO / "docs" / "scenarios.md"
 ROBUSTNESS = REPO / "docs" / "robustness.md"
 SERVICE = REPO / "docs" / "service.md"
+PERFORMANCE = REPO / "docs" / "performance.md"
 
 
 def test_readme_exists():
@@ -195,6 +196,30 @@ def test_architecture_covers_the_service():
     text = ARCHITECTURE.read_text()
     assert "`repro.service`" in text, "no section for repro.service"
     assert "docs/service.md" in text
+
+
+def test_performance_covers_boundary_patching():
+    """The perf guide must document the boundary-patch machinery."""
+    text = PERFORMANCE.read_text()
+    for topic in (
+        "transient_analysis_stamp_episode_long",
+        "Boundary-patch cost model",
+        "Fallback-rebuild triggers",
+        "apply_boundary",
+        "boundary_touched_keys",
+        "test_episode_boundary_patch.py",
+        "test_storm_golden.py",
+    ):
+        assert topic in text, f"performance guide lost its {topic!r} coverage"
+
+
+def test_scenarios_covers_long_horizon_storms():
+    """The scenario guide must keep the runnable 256-flap storm."""
+    text = SCENARIOS.read_text()
+    assert "## Long-horizon storms" in text
+    assert "flaps=256" in text
+    assert "transient_analysis_stamp_episode_long" in text
+    assert "test_episode_boundary_patch.py" in text
 
 
 def test_scenarios_doctests_pass():
