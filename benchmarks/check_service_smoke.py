@@ -14,7 +14,10 @@ over real HTTP, the way an operator would see it:
    units the crash swallowed), and finished — and that the first
    campaign's stored result survived byte-for-byte;
 5. SIGTERM the daemon and require exit code 0 with a checkpoint as the
-   journal's last record.
+   journal's last record;
+6. submit two long campaigns to a two-lane daemon, observe them
+   demonstrably running at the same time, and assert their results are
+   byte-identical to a single-lane control run in a fresh directory.
 
 Usage (what ci.yml runs)::
 
@@ -45,7 +48,7 @@ FIRST = {
 SECOND = dict(FIRST, seed=1)
 
 
-def start_daemon(tmp, *, env_extra=None):
+def start_daemon(tmp, *, env_extra=None, extra_args=()):
     env = dict(os.environ, PYTHONPATH=SRC)
     env.update(env_extra or {})
     process = subprocess.Popen(
@@ -53,6 +56,7 @@ def start_daemon(tmp, *, env_extra=None):
             sys.executable, "-m", "repro.cli", "serve", "--port", "0",
             "--ledger", str(tmp / "ledger.jsonl"),
             "--journal", str(tmp / "journal.jsonl"),
+            *extra_args,
         ],
         stdout=subprocess.PIPE, text=True, env=env,
     )
@@ -141,11 +145,64 @@ def main() -> int:
         last = json.loads(journal_lines[-1])
         assert last["body"]["event"] == "checkpoint", last
 
+    # -- concurrent lanes: overlap observed, results byte-identical ----
+    big_a = dict(FIRST, seed=10, instances=120, protocols=["bgp"])
+    big_b = dict(FIRST, seed=11, instances=120, protocols=["bgp"])
+    with tempfile.TemporaryDirectory() as tmpdir:
+        daemon, base = start_daemon(
+            Path(tmpdir), extra_args=("--max-concurrent", "2")
+        )
+        ids = []
+        for spec in (big_a, big_b):
+            status, payload = request(base, "POST", "/campaigns", spec)
+            assert status == 202, (status, payload)
+            ids.append(json.loads(payload)["id"])
+        # Both campaigns demonstrably mid-run at the same instant.
+        deadline = time.monotonic() + 120
+        overlapped = False
+        while time.monotonic() < deadline and not overlapped:
+            states = []
+            for cid in ids:
+                status, payload = request(base, "GET", f"/campaigns/{cid}")
+                states.append(
+                    json.loads(payload)["state"] if status == 200 else "?"
+                )
+            overlapped = states == ["running", "running"]
+            time.sleep(0.02)
+        assert overlapped, "two-lane daemon never overlapped campaigns"
+        concurrent_results = []
+        for cid in ids:
+            wait_for(base, cid, lambda d: d["state"] == "done")
+            concurrent_results.append(
+                request(base, "GET", f"/campaigns/{cid}/result")[1]
+            )
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=60) == 0, "SIGTERM must exit 0"
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        daemon, base = start_daemon(
+            Path(tmpdir), extra_args=("--max-concurrent", "1")
+        )
+        for cid, spec, concurrent in zip(
+            ids, (big_a, big_b), concurrent_results
+        ):
+            status, payload = request(base, "POST", "/campaigns", spec)
+            assert json.loads(payload)["id"] == cid
+            wait_for(base, cid, lambda d: d["state"] == "done")
+            _, serial = request(base, "GET", f"/campaigns/{cid}/result")
+            assert serial == concurrent, (
+                f"concurrent result for {cid[:12]} differs from the "
+                "single-lane control"
+            )
+        daemon.send_signal(signal.SIGTERM)
+        assert daemon.wait(timeout=60) == 0, "SIGTERM must exit 0"
+
     print(
         "OK: daemon served a campaign, survived kill -9 mid-campaign, "
         "recovered both campaigns from the journal, resumed with exactly "
-        "2 recomputed units, served byte-identical results, and exited 0 "
-        "on SIGTERM with a journal checkpoint."
+        "2 recomputed units, served byte-identical results, exited 0 "
+        "on SIGTERM with a journal checkpoint, and ran two campaigns "
+        "concurrently with results byte-identical to a single-lane run."
     )
     return 0
 

@@ -14,14 +14,18 @@ Usage examples::
     repro-stamp topology --out as_graph.txt
 
     repro-stamp serve --ledger results.jsonl      # campaign daemon
+    repro-stamp serve --ledger results.jsonl --max-concurrent 4
     repro-stamp ledger stats results.jsonl
     repro-stamp ledger compact results.jsonl --max-bytes 10000000
     repro-stamp ledger merge merged.jsonl a.jsonl b.jsonl
+    repro-stamp journal stats results.jsonl.journal
+    repro-stamp journal compact results.jsonl.journal
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -231,16 +235,23 @@ def cmd_serve(args) -> int:
     from repro.service.spec import ServiceLimits
 
     journal = args.journal or f"{args.serve_ledger}.journal"
+    # The flag wins over the environment; the environment keeps the
+    # secret out of `ps` output on shared machines.
+    token = args.auth_token or os.environ.get("REPRO_SERVICE_TOKEN") or None
     config = ServiceConfig(
         journal_path=journal,
         ledger_path=args.serve_ledger,
         workers=args.workers,
         max_queue=args.max_queue,
+        max_concurrent=args.max_concurrent,
+        journal_max_bytes=args.journal_max_bytes,
+        auth_token=token,
         limits=ServiceLimits(
             max_instances=args.max_instances,
             max_total_ases=args.max_total_ases,
             max_retries=args.max_retries,
             max_unit_timeout=args.max_unit_timeout,
+            max_workers=args.max_workers,
         ),
     )
     return run_service(args.host, args.port, config)
@@ -282,6 +293,35 @@ def cmd_ledger(args) -> int:
     return 0
 
 
+def cmd_journal(args) -> int:
+    from repro.service.journal import CampaignJournal
+
+    if args.journal_command == "stats":
+        journal = CampaignJournal(args.path)
+        try:
+            stats = journal.stats()
+        finally:
+            journal.close()
+        for key in (
+            "path", "records", "file_bytes", "snapshots",
+            "campaigns", "active_campaigns", "dropped_records",
+        ):
+            print(f"{key:17s} {stats[key]}")
+        return 0
+    # compact
+    journal = CampaignJournal(args.path)
+    try:
+        summary = journal.compact(max_age_seconds=args.max_age_seconds)
+    finally:
+        journal.close()
+    print(
+        f"compacted {summary['bytes_before']} -> "
+        f"{summary['bytes_after']} bytes; {summary['campaigns']} "
+        f"campaign(s) kept, {summary['evicted']} evicted"
+    )
+    return 0
+
+
 _COMMANDS = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -296,6 +336,7 @@ _COMMANDS = {
     "topology": cmd_topology,
     "serve": cmd_serve,
     "ledger": cmd_ledger,
+    "journal": cmd_journal,
 }
 
 
@@ -374,6 +415,29 @@ def build_parser() -> argparse.ArgumentParser:
                      "submissions get 429 + Retry-After",
             )
             command.add_argument(
+                "--max-concurrent", type=int, default=2,
+                help="executor lanes: campaigns running at once, all "
+                     "sharing the --workers slot budget (results are "
+                     "identical for any lane count)",
+            )
+            command.add_argument(
+                "--journal-max-bytes", type=int, default=None,
+                metavar="BYTES",
+                help="rotate the campaign journal once it grows past "
+                     "this (atomic snapshot+tail rewrite; default: "
+                     "never)",
+            )
+            command.add_argument(
+                "--auth-token", default=None, metavar="TOKEN",
+                help="require 'Authorization: Bearer TOKEN' on "
+                     "mutating endpoints (env REPRO_SERVICE_TOKEN "
+                     "also works; /healthz and /readyz stay open)",
+            )
+            command.add_argument(
+                "--max-workers", type=int, default=8,
+                help="ceiling a campaign's requested workers clamp to",
+            )
+            command.add_argument(
                 "--max-instances", type=int, default=1000,
                 help="per-campaign instance ceiling (400 beyond it)",
             )
@@ -417,6 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
             )
             merge.add_argument("out")
             merge.add_argument("inputs", nargs="+", metavar="in")
+        if name == "journal":
+            journal_sub = command.add_subparsers(
+                dest="journal_command", required=True
+            )
+            jstats = journal_sub.add_parser(
+                "stats",
+                help="record/snapshot/campaign counts and file size",
+            )
+            jstats.add_argument("path")
+            jcompact = journal_sub.add_parser(
+                "compact",
+                help="rewrite atomically as one snapshot record "
+                     "(replay reads snapshot+tail identically)",
+            )
+            jcompact.add_argument("path")
+            jcompact.add_argument(
+                "--max-age-seconds", type=float, default=None,
+                help="also evict finished campaigns older than this",
+            )
         if name == "flap":
             command.add_argument(
                 "--period", type=float, default=40.0,

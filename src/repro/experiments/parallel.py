@@ -52,6 +52,7 @@ from repro.experiments.supervisor import (
     Supervisor,
     SupervisedOutcome,
     UnitFailure,
+    WorkerBudget,
     WorkUnit,
     _cyclic_gc_paused,
     run_unit,
@@ -61,6 +62,7 @@ from repro.topology.graph import ASGraph
 __all__ = [
     "CampaignOutcome",
     "ParallelRunner",
+    "WorkerBudget",
     "WorkUnit",
     "run_unit",
 ]
@@ -110,6 +112,11 @@ class ParallelRunner:
     backoff_factor: float = 2.0
     degrade_final: bool = False
     ledger_path: Optional[Union[str, Path]] = None
+    #: Shared machine-wide worker budget.  When set, ``workers`` is a
+    #: request: the supervisor acquires up to that many slots from the
+    #: budget and may be granted fewer under contention (see
+    #: :class:`~repro.experiments.supervisor.WorkerBudget`).
+    budget: Optional[WorkerBudget] = None
 
     def _policy(self) -> RetryPolicy:
         return RetryPolicy(
@@ -158,6 +165,7 @@ class ParallelRunner:
                 unit_keys=keys,
                 stop_event=stop_event,
                 on_progress=on_progress,
+                budget=self.budget,
             )
             return supervisor.run()
         finally:

@@ -124,6 +124,59 @@ def run_unit(
 
 
 # ----------------------------------------------------------------------
+# Shared worker budget
+# ----------------------------------------------------------------------
+
+
+class WorkerBudget:
+    """A machine-wide pool of worker slots shared by concurrent grids.
+
+    When several campaigns execute at once (the service's concurrent
+    lanes), each one sizing its own pool independently would
+    oversubscribe the machine: K campaigns × W workers each.  Instead
+    every supervisor draws from one shared budget: :meth:`acquire`
+    grants ``min(requested, free)`` slots — fewer than asked under
+    contention — **without blocking**, flooring the grant at one slot
+    so no campaign ever starves outright (a one-slot grant runs the
+    grid on the caller's own thread, so the floor costs one thread, not
+    an extra worker process).  Worker count is result-invariant
+    throughout the experiment stack, so a stingy grant changes only
+    wall-clock time, never bytes.
+
+    Thread-safe; allocation may transiently exceed ``total`` only
+    through the one-slot floor.
+    """
+
+    def __init__(self, total: int) -> None:
+        self.total = max(1, int(total))
+        self._allocated = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, requested: int, *, minimum: int = 1) -> int:
+        """Grant up to ``requested`` slots now; at least ``minimum``."""
+        requested = max(1, int(requested))
+        with self._lock:
+            free = self.total - self._allocated
+            granted = max(minimum, min(requested, free))
+            self._allocated += granted
+            return granted
+
+    def release(self, granted: int) -> None:
+        """Return slots granted by :meth:`acquire`."""
+        with self._lock:
+            self._allocated = max(0, self._allocated - granted)
+
+    def utilization(self) -> Dict[str, int]:
+        """Operational snapshot: ``{"total", "allocated", "free"}``."""
+        with self._lock:
+            return {
+                "total": self.total,
+                "allocated": self._allocated,
+                "free": max(0, self.total - self._allocated),
+            }
+
+
+# ----------------------------------------------------------------------
 # Policy and outcome types
 # ----------------------------------------------------------------------
 
@@ -299,10 +352,15 @@ class Supervisor:
         unit_keys: Optional[Sequence[str]] = None,
         stop_event: Optional[threading.Event] = None,
         on_progress: Optional[Callable[[int, int], None]] = None,
+        budget: Optional[WorkerBudget] = None,
     ) -> None:
         self._graph = graph
         self._units: List[WorkUnit] = list(units)
         self._target_workers = workers
+        #: With a shared budget attached, ``workers`` is a *request*:
+        #: the grant acquired in :meth:`run` caps the actual pool size.
+        self._budget = budget
+        self._pool_cap = workers
         self._policy = policy or RetryPolicy()
         if self._policy.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -543,7 +601,7 @@ class Supervisor:
             worker = next(
                 (w for w in self._workers if w.assignment is None), None
             )
-            if worker is None and len(self._workers) < self._target_workers:
+            if worker is None and len(self._workers) < self._pool_cap:
                 worker = self._spawn_worker()
             if worker is None:
                 if not self._workers:
@@ -746,13 +804,29 @@ class Supervisor:
         structured failures so far) are all present, unrun units are
         ``None``, and a rerun — same grid, same ledger — recomputes
         exactly the remainder.
+
+        With a shared :class:`WorkerBudget`, slots are acquired here —
+        after the ledger preload, so a fully-ledgered resume holds zero
+        slots — and released when the grid ends.  The grant (never more
+        than the pending unit count needs) caps the pool; a one-slot
+        grant degrades to the in-process path.  Worker count is
+        result-invariant, so contention shapes only the schedule.
         """
         self._preload_from_ledger()
         self._notify_progress()
         if not self._pending:
             return self._outcome()
-        if self._target_workers >= 2 and len(self._pending) > 1:
-            self._run_pool()
-        else:
-            self._run_inprocess()
+        granted = None
+        if self._budget is not None:
+            want = max(1, min(self._target_workers, len(self._pending)))
+            granted = self._budget.acquire(want)
+            self._pool_cap = granted
+        try:
+            if self._pool_cap >= 2 and len(self._pending) > 1:
+                self._run_pool()
+            else:
+                self._run_inprocess()
+        finally:
+            if granted is not None:
+                self._budget.release(granted)
         return self._outcome()

@@ -32,21 +32,42 @@ Robustness model (see ``docs/service.md``):
 * **Idempotent submission.**  The campaign id is the SHA-256 of the
   canonical spec document, so duplicate submissions — concurrent ones
   included — converge on one execution and one result.
-* **Admission control.**  One campaign executes at a time; the queue
-  is bounded (``429`` beyond it); body size is bounded (``413``);
-  malformed specs are structured ``400``s; per-campaign execution
-  knobs are clamped to server ceilings at admission.
+* **Concurrent scheduling with lane isolation.**  ``--max-concurrent``
+  executor lanes pull from the admission queue in FIFO order; each
+  lane is an isolation domain, so a slow, poisoned, or cancelled
+  campaign occupies only its own lane and never head-of-line-blocks
+  the others.  All lanes draw worker slots from one shared
+  :class:`~repro.experiments.supervisor.WorkerBudget` (``--workers``
+  is the machine-wide total): a campaign asks for ``workers`` and the
+  scheduler grants ``min(requested, available)`` — fewer under
+  contention — which cannot change any result because worker count is
+  result-invariant throughout the stack.
+* **Admission control.**  The queue is bounded (``429`` beyond it,
+  with a ``Retry-After`` computed from queue depth and recent campaign
+  durations); body size is bounded (``413``); malformed specs are
+  structured ``400``s; per-campaign execution knobs are clamped to
+  server ceilings at admission.  With ``--auth-token`` (or
+  ``REPRO_SERVICE_TOKEN``) set, mutating endpoints require a matching
+  ``Authorization: Bearer`` header (``401`` otherwise); ``/healthz``
+  and ``/readyz`` stay open for probes.
+* **Journal rotation.**  With ``--journal-max-bytes`` set, a journal
+  grown past the bound is atomically rewritten as one snapshot record
+  (:meth:`~repro.service.journal.CampaignJournal.compact`); recovery
+  reads snapshot+tail identically to a full replay.
 * **Graceful shutdown.**  SIGTERM/SIGINT stops admissions (``503``),
-  asks the running campaign to stop cooperatively, drains its
-  in-flight units to the ledger, journals the interruption and a
-  checkpoint, and exits 0.  The interrupted campaign resumes on the
-  next start.
+  asks every running campaign to stop cooperatively, drains their
+  in-flight units to the ledger, journals the interruptions and a
+  checkpoint, and exits 0.  Interrupted campaigns resume on the
+  next start — the journal replay requeues *every* non-terminal
+  campaign, however many lanes were mid-flight at the crash.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import logging
+import math
 import signal
 import sys
 import threading
@@ -61,7 +82,7 @@ from repro.errors import ServiceError, SpecValidationError
 from repro.experiments.canonical import canonical_json
 from repro.experiments.figures import EpisodeCampaignData, FailureFigureData
 from repro.experiments.parallel import CampaignOutcome, ParallelRunner
-from repro.experiments.supervisor import UnitFailure
+from repro.experiments.supervisor import UnitFailure, WorkerBudget
 from repro.service.journal import CampaignJournal
 from repro.service.spec import CampaignSpec, ServiceLimits
 from repro.service.state import (
@@ -174,7 +195,15 @@ def build_result_document(
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Everything one daemon instance needs to know."""
+    """Everything one daemon instance needs to know.
+
+    ``workers`` is the machine-wide worker-slot total shared by all
+    lanes; ``max_concurrent`` is the lane count (campaigns executing
+    at once); ``journal_max_bytes`` auto-rotates the journal once it
+    grows past the bound (``None`` disables); ``auth_token`` gates
+    mutating endpoints behind a bearer token (``None`` leaves the
+    service open).
+    """
 
     journal_path: Union[str, Path]
     ledger_path: Union[str, Path]
@@ -182,17 +211,27 @@ class ServiceConfig:
     max_queue: int = 8
     max_body_bytes: int = 256 * 1024
     retry_after: int = 5
+    max_concurrent: int = 2
+    journal_max_bytes: Optional[int] = None
+    auth_token: Optional[str] = None
     limits: ServiceLimits = ServiceLimits()
 
 
 class CampaignService:
-    """Journal-backed campaign registry plus its single executor.
+    """Journal-backed campaign registry plus its executor lanes.
 
     All public methods are thread-safe (the HTTP layer calls them from
-    handler threads); execution happens on one dedicated thread, so at
-    most one campaign runs at a time — admission control by
-    construction, and the shared ledger/journal never see competing
-    writers from within one daemon.
+    handler threads).  Execution happens on ``max_concurrent``
+    dedicated lane threads pulling from the admission queue in FIFO
+    order; every lane draws worker slots from one shared
+    :class:`~repro.experiments.supervisor.WorkerBudget`, so total
+    parallelism stays bounded by ``config.workers`` however many
+    campaigns are in flight.  Lanes are isolation domains: a hung,
+    poisoned, or cancelled campaign occupies only its own lane.  The
+    journal is only ever written under the service lock, so lanes
+    never interleave records; ledger appends are O_APPEND+fsync and
+    concurrent campaigns touch disjoint unit keys, so the shared
+    ledger is concurrent-writer safe by construction.
     """
 
     def __init__(
@@ -207,45 +246,68 @@ class CampaignService:
         self._queue: deque = deque()
         self._journal = CampaignJournal(config.journal_path)
         self._shutdown = threading.Event()
-        self._current: Optional[str] = None
+        self._budget = WorkerBudget(config.workers)
+        #: lane index -> campaign id currently running there (or None).
+        self._lanes: List[Optional[str]] = (
+            [None] * max(1, int(config.max_concurrent))
+        )
+        #: Wall-clock durations of recently finished campaigns, for
+        #: the Retry-After estimate.
+        self._durations: deque = deque(maxlen=32)
         self._graphs: Dict[Tuple, Any] = {}
+        self._graph_lock = threading.Lock()
         self.recovered = 0
         self.resumed = 0
         self._recover()
-        self._executor = threading.Thread(
-            target=self._executor_loop, name="campaign-executor", daemon=True
-        )
+        self._executors = [
+            threading.Thread(
+                target=self._executor_loop, args=(lane,),
+                name=f"campaign-lane-{lane}", daemon=True,
+            )
+            for lane in range(len(self._lanes))
+        ]
 
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> None:
-        self._executor.start()
+        for thread in self._executors:
+            thread.start()
 
     def begin_shutdown(self) -> None:
-        """Stop admissions and ask the running campaign to stop."""
+        """Stop admissions and ask every running campaign to stop."""
         with self._wake:
             if self._shutdown.is_set():
                 return
             self._shutdown.set()
-            if self._current is not None:
-                self._campaigns[self._current].stop_event.set()
+            for cid in self._lanes:
+                if cid is not None:
+                    self._campaigns[cid].stop_event.set()
             self._wake.notify_all()
         logger.info("shutdown requested: admissions closed, draining")
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Wait for the executor to finish draining; then checkpoint.
+        """Wait for every lane to finish draining; then checkpoint.
 
         Returns ``True`` on a clean drain.  The checkpoint record is
         written either way — it marks how far the journal is known
         good, not that the stop was pretty.
         """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         clean = True
-        if self._executor.is_alive():
-            self._executor.join(timeout)
-            clean = not self._executor.is_alive()
-            if not clean:
+        for thread in self._executors:
+            if not thread.is_alive():
+                continue
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            thread.join(remaining)
+            if thread.is_alive():
+                clean = False
                 logger.warning(
-                    "executor did not drain within %ss", timeout
+                    "%s did not drain within %ss", thread.name, timeout
                 )
         with self._lock:
             self._journal.append(
@@ -257,6 +319,16 @@ class CampaignService:
             )
             self._journal.close()
         return clean
+
+    def _journal_append(self, body: Dict[str, Any]) -> None:
+        """Append one record; auto-rotate past the configured bound.
+
+        Callers hold the service lock, so rotation never races another
+        append — the journal has exactly one writer at a time.
+        """
+        self._journal.append(body)
+        if self.config.journal_max_bytes is not None:
+            self._journal.maybe_compact(self.config.journal_max_bytes)
 
     # -- recovery ------------------------------------------------------
 
@@ -309,7 +381,7 @@ class CampaignService:
                 # the recovered service is about to do.
                 if campaign.state == RUNNING:
                     campaign.advance(QUEUED, at=now)
-                    self._journal.append(
+                    self._journal_append(
                         {
                             "event": "state",
                             "id": cid,
@@ -352,7 +424,7 @@ class CampaignService:
                     existing.reset_for_requeue()
                     existing.advance(QUEUED, at=now)
                     self._specs[cid] = spec
-                    self._journal.append(
+                    self._journal_append(
                         {"event": "state", "id": cid, "state": QUEUED,
                          "ts": now}
                     )
@@ -374,7 +446,7 @@ class CampaignService:
             )
             # Durable before acknowledged: the journal record hits disk
             # before the 202 leaves the building.
-            self._journal.append(
+            self._journal_append(
                 {
                     "event": "submitted",
                     "id": cid,
@@ -425,7 +497,7 @@ class CampaignService:
                     pass
                 campaign.cancel_requested = True
                 campaign.advance(CANCELLED, at=now)
-                self._journal.append(
+                self._journal_append(
                     {"event": "state", "id": cid, "state": CANCELLED,
                      "ts": now}
                 )
@@ -439,7 +511,47 @@ class CampaignService:
             return self._status_locked(cid)
 
     def ready(self) -> bool:
-        return self._executor.is_alive() and not self._shutdown.is_set()
+        return (
+            any(t.is_alive() for t in self._executors)
+            and not self._shutdown.is_set()
+        )
+
+    def readiness_document(self) -> Dict[str, Any]:
+        """The JSON body of ``GET /readyz``: lanes, queue, budget."""
+        with self._lock:
+            lanes = []
+            for lane, cid in enumerate(self._lanes):
+                entry: Dict[str, Any] = {
+                    "lane": lane, "busy": cid is not None,
+                }
+                if cid is not None:
+                    entry["campaign"] = cid
+                lanes.append(entry)
+            return {
+                "ready": self.ready(),
+                "lanes": lanes,
+                "queue_depth": len(self._queue),
+                "worker_budget": self._budget.utilization(),
+            }
+
+    def retry_after_estimate(self) -> int:
+        """Seconds a refused client should wait before retrying.
+
+        Queue depth times the mean recent campaign duration, divided
+        across the lanes; floored at 1s, capped at 300s.  With no
+        finished campaigns yet there is nothing to extrapolate from,
+        so the configured constant is used.
+        """
+        with self._lock:
+            depth = len(self._queue) + sum(
+                1 for cid in self._lanes if cid is not None
+            )
+            durations = list(self._durations)
+        if not durations:
+            return max(1, int(self.config.retry_after))
+        mean = sum(durations) / len(durations)
+        estimate = math.ceil((depth + 1) * mean / max(1, len(self._lanes)))
+        return max(1, min(int(estimate), 300))
 
     def _status_locked(self, cid: str) -> Dict[str, Any]:
         campaign = self._campaigns[cid]
@@ -453,7 +565,7 @@ class CampaignService:
 
     # -- execution -----------------------------------------------------
 
-    def _executor_loop(self) -> None:
+    def _executor_loop(self, lane: int) -> None:
         while True:
             with self._wake:
                 while not self._queue and not self._shutdown.is_set():
@@ -464,11 +576,13 @@ class CampaignService:
                 campaign = self._campaigns[cid]
                 now = self._clock()
                 campaign.advance(RUNNING, at=now)
-                self._current = cid
-                self._journal.append(
+                campaign.lane = lane
+                self._lanes[lane] = cid
+                self._journal_append(
                     {"event": "state", "id": cid, "state": RUNNING,
                      "ts": now}
                 )
+            started = time.monotonic()
             try:
                 self._run_campaign(campaign)
             except Exception:
@@ -476,15 +590,23 @@ class CampaignService:
                 self._finish_exception(campaign)
             finally:
                 with self._lock:
-                    self._current = None
+                    self._lanes[lane] = None
+                    campaign.lane = None
+                    self._durations.append(
+                        max(0.0, time.monotonic() - started)
+                    )
 
     def _graph_for(self, spec: CampaignSpec):
-        key = tuple(sorted(spec.topology.items()))
-        graph = self._graphs.get(key)
-        if graph is None:
-            graph, _ = generate_internet_topology(spec.topology_config())
-            self._graphs[key] = graph
-        return graph
+        # Serialized across lanes: building the same topology twice
+        # wastes minutes of CPU; the lock makes the second lane a
+        # cache hit instead.
+        with self._graph_lock:
+            key = tuple(sorted(spec.topology.items()))
+            graph = self._graphs.get(key)
+            if graph is None:
+                graph, _ = generate_internet_topology(spec.topology_config())
+                self._graphs[key] = graph
+            return graph
 
     def _run_campaign(self, campaign: Campaign) -> None:
         cid = campaign.campaign_id
@@ -493,11 +615,15 @@ class CampaignService:
             spec = CampaignSpec.from_document(campaign.spec_document)
             self._specs[cid] = spec
         graph = self._graph_for(spec)
+        requested = (
+            spec.workers if spec.workers is not None else self.config.workers
+        )
         runner = ParallelRunner(
-            workers=self.config.workers,
+            workers=requested,
             max_attempts=spec.retries + 1,
             unit_timeout=spec.unit_timeout,
             ledger_path=self.config.ledger_path,
+            budget=self._budget,
         )
 
         def on_progress(resolved: int, total: int) -> None:
@@ -524,6 +650,9 @@ class CampaignService:
         cid = campaign.campaign_id
         now = self._clock()
         with self._wake:
+            # Atomic with the state transition: a status read must never
+            # see a non-running campaign still claiming a lane.
+            campaign.lane = None
             campaign.executed = outcome.executed
             campaign.ledger_hits = outcome.ledger_hits
             campaign.failures = [failure_status(f) for f in outcome.failures]
@@ -557,16 +686,17 @@ class CampaignService:
                 campaign.advance(state, at=now)
                 record["state"] = state
                 record["result"] = document
-            self._journal.append(record)
+            self._journal_append(record)
 
     def _finish_exception(self, campaign: Campaign) -> None:
         import traceback
 
         now = self._clock()
         with self._lock:
+            campaign.lane = None
             campaign.error = traceback.format_exc(limit=20)
             campaign.advance(FAILED, at=now)
-            self._journal.append(
+            self._journal_append(
                 {
                     "event": "state",
                     "id": campaign.campaign_id,
@@ -630,6 +760,18 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
         )
         self._send_json(status, document, headers)
 
+    def _authorized(self) -> bool:
+        """True when no token is configured or the request bears it.
+
+        Constant-time comparison: an attacker probing byte by byte
+        learns nothing from response timing.
+        """
+        token = self.service.config.auth_token
+        if token is None:
+            return True
+        supplied = self.headers.get("Authorization", "")
+        return hmac.compare_digest(supplied, f"Bearer {token}")
+
     def _read_json_body(self) -> Any:
         length_header = self.headers.get("Content-Length")
         try:
@@ -654,12 +796,14 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             if path == "/healthz":
                 self._send_json(200, {"ok": True})
             elif path == "/readyz":
-                if self.service.ready():
-                    self._send_json(200, {"ready": True})
+                document = self.service.readiness_document()
+                if document["ready"]:
+                    self._send_json(200, document)
                 else:
                     self._send_json(
-                        503, {"ready": False},
-                        {"Retry-After": str(self.service.config.retry_after)},
+                        503, document,
+                        {"Retry-After":
+                         str(self.service.retry_after_estimate())},
                     )
             elif path == "/campaigns":
                 self._send_json(
@@ -680,7 +824,7 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(
                 409, str(exc),
                 retry_after=(
-                    self.service.config.retry_after
+                    self.service.retry_after_estimate()
                     if exc.state not in TERMINAL_STATES else None
                 ),
             )
@@ -691,6 +835,15 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         path = self.path.split("?", 1)[0].rstrip("/")
         try:
+            # Every POST mutates campaign state; all of them require
+            # the bearer token when one is configured.  Probes and
+            # reads (GET /healthz, /readyz, statuses) stay open.
+            if not self._authorized():
+                self._send_json(
+                    401, {"error": "missing or invalid bearer token"},
+                    {"WWW-Authenticate": "Bearer"},
+                )
+                return
             if path == "/campaigns":
                 payload = self._read_json_body()
                 accepted, document = self.service.submit(payload)
@@ -708,11 +861,13 @@ class CampaignRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(413, str(exc))
         except QueueFullError as exc:
             self._send_error_json(
-                429, str(exc), retry_after=self.service.config.retry_after
+                429, str(exc),
+                retry_after=self.service.retry_after_estimate(),
             )
         except ShuttingDownError as exc:
             self._send_error_json(
-                503, str(exc), retry_after=self.service.config.retry_after
+                503, str(exc),
+                retry_after=self.service.retry_after_estimate(),
             )
         except UnknownCampaignError as exc:
             self._send_error_json(404, str(exc))

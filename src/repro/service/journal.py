@@ -29,11 +29,28 @@ Record bodies (``body["event"]``):
 * ``checkpoint`` — ``{"event", "ts", "reason"}``; written by graceful
   shutdown after the drain, so an operator can see clean stops in the
   journal.  Replay ignores it for state.
+* ``snapshot`` — ``{"event", "ts", "campaigns": [entry...]}``; one
+  folded entry per campaign (the same shape :meth:`replay` returns,
+  plus ``"id"``).  Written by :meth:`compact` as the sole record of a
+  rotated journal; every append after it is the *tail*, and replay of
+  snapshot+tail reconstructs exactly what replaying the unrotated file
+  would have.
 
 Replay folds records in file order: last state wins, exactly one
 ``submitted`` per id counts (duplicates are impossible through the
 service API, which journals only the first), unknown-id state records
-are skipped with a warning.
+are skipped with a warning, a ``snapshot`` replaces everything known
+about the campaigns it lists.
+
+**Rotation** gives the journal the ledger's lifecycle treatment: the
+file grows with every lifecycle fact by design, so :meth:`compact`
+atomically rewrites it as a single snapshot record (temp sibling +
+``fsync`` + ``os.replace`` + directory fsync — the exact discipline of
+:meth:`repro.experiments.ledger.ResultLedger.compact`), optionally
+evicting *terminal* campaigns older than an age bound (non-terminal
+campaigns are never evicted: dropping one would forget accepted work).
+:meth:`maybe_compact` is the size-triggered form the live service
+calls after appends.
 """
 
 from __future__ import annotations
@@ -41,10 +58,12 @@ from __future__ import annotations
 import json
 import logging
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.experiments.canonical import canonical_bytes, canonical_json, sha256_hex
+from repro.service.state import TERMINAL_STATES
 
 logger = logging.getLogger("repro.service.journal")
 
@@ -60,6 +79,9 @@ class CampaignJournal:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._fd: Optional[int] = None
+        #: Size of the snapshot the last :meth:`compact` wrote — the
+        #: floor below which :meth:`maybe_compact` refuses to thrash.
+        self._last_compact_bytes = 0
 
     # -- appends -------------------------------------------------------
 
@@ -179,6 +201,33 @@ class CampaignJournal:
                 ):
                     if field in body:
                         entry[field] = body[field]
+            elif event == "snapshot":
+                listed = body.get("campaigns")
+                if not isinstance(listed, list):
+                    logger.warning(
+                        "%s: malformed snapshot record at line %d",
+                        self.path, lineno,
+                    )
+                    dropped += 1
+                    continue
+                for item in listed:
+                    if not isinstance(item, dict):
+                        continue
+                    cid = item.get("id")
+                    spec = item.get("spec")
+                    if not isinstance(cid, str) or not isinstance(spec, dict):
+                        logger.warning(
+                            "%s: malformed snapshot entry at line %d",
+                            self.path, lineno,
+                        )
+                        continue
+                    entry = {k: v for k, v in item.items() if k != "id"}
+                    entry.setdefault("state", "queued")
+                    # The snapshot supersedes everything known so far
+                    # about this campaign (it *is* the fold of every
+                    # earlier record), and fixes the listing order.
+                    campaigns.pop(cid, None)
+                    campaigns[cid] = entry
             elif event == "checkpoint":
                 continue
             else:
@@ -188,6 +237,137 @@ class CampaignJournal:
                 )
                 dropped += 1
         return campaigns, dropped
+
+    # -- rotation ------------------------------------------------------
+
+    def size(self) -> int:
+        """Current on-disk size in bytes (0 when the file is missing)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def compact(
+        self,
+        *,
+        max_age_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Atomically rewrite the journal as one snapshot record.
+
+        The replacement holds a single ``snapshot`` record folding the
+        current file (snapshot + tail included, recursively), written
+        with the ledger-compaction discipline: temp sibling, ``fsync``,
+        ``os.replace``, directory fsync — a crash at any instant leaves
+        either the old or the new complete file, never a torn one.
+
+        With ``max_age_seconds`` set, **terminal** campaigns whose last
+        transition is older than the bound are evicted; queued/running
+        campaigns survive any age — evicting one would silently forget
+        accepted work.  Returns a summary dict (``campaigns``,
+        ``evicted``, ``dropped``, ``bytes_before``, ``bytes_after``).
+        """
+        now = time.time() if now is None else now
+        bytes_before = self.size()
+        entries, dropped = self.replay()
+        evicted = 0
+        survivors: Dict[str, Dict[str, Any]] = {}
+        for cid, entry in entries.items():
+            if (
+                max_age_seconds is not None
+                and entry.get("state") in TERMINAL_STATES
+                and (entry.get("ts") or 0.0) < now - max_age_seconds
+            ):
+                evicted += 1
+                continue
+            survivors[cid] = entry
+        line = self.encode_record(
+            {
+                "event": "snapshot",
+                "ts": now,
+                "campaigns": [
+                    dict(entry, id=cid) for cid, entry in survivors.items()
+                ],
+            }
+        )
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, line)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        dir_fd = os.open(self.path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+        self._last_compact_bytes = len(line)
+        return {
+            "campaigns": len(survivors),
+            "evicted": evicted,
+            "dropped": dropped,
+            "bytes_before": bytes_before,
+            "bytes_after": len(line),
+        }
+
+    def maybe_compact(self, max_bytes: int) -> bool:
+        """Rotate if the journal has outgrown ``max_bytes``.
+
+        Thrash guard: when the snapshot itself exceeds the bound (many
+        live campaigns, a small bound), compacting after every append
+        would be O(n²) — so rotation also waits until the file has
+        doubled past the last snapshot.  Returns True when it rotated.
+        """
+        size = self.size()
+        if size <= max_bytes:
+            return False
+        if size < 2 * self._last_compact_bytes:
+            return False
+        summary = self.compact()
+        logger.info(
+            "%s: rotated at %d bytes -> %d-byte snapshot of %d campaign(s)",
+            self.path, summary["bytes_before"], summary["bytes_after"],
+            summary["campaigns"],
+        )
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational summary: records, folded campaigns, liveness."""
+        records = 0
+        snapshots = 0
+        if self.path.exists():
+            for line in self.path.read_bytes().split(b"\n"):
+                if not line:
+                    continue
+                records += 1
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue
+                if (
+                    isinstance(obj, dict)
+                    and isinstance(obj.get("body"), dict)
+                    and obj["body"].get("event") == "snapshot"
+                ):
+                    snapshots += 1
+        entries, dropped = self.replay()
+        active = sum(
+            1 for entry in entries.values()
+            if entry.get("state") not in TERMINAL_STATES
+        )
+        return {
+            "path": str(self.path),
+            "file_bytes": self.size(),
+            "records": records,
+            "snapshots": snapshots,
+            "campaigns": len(entries),
+            "active_campaigns": active,
+            "dropped_records": dropped,
+        }
 
     def _parse_line(self, line: bytes, lineno: int, torn: bool):
         where = "torn trailing" if torn else "corrupt"

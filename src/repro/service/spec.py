@@ -11,7 +11,7 @@ This module turns it into a :class:`CampaignSpec`:
 * **Ceilings, not trust.**  Work-shaping knobs (``instances``,
   topology size) are validated against :class:`ServiceLimits`;
   execution knobs that cannot change results (``retries``,
-  ``unit_timeout``) are *clamped* to the server ceilings, because a
+  ``unit_timeout``, ``workers``) are *clamped* to the server ceilings, because a
   client asking for more patience than the operator allows should
   still get its campaign, just under house rules.
 * **The campaign id is the spec.**  :meth:`CampaignSpec.campaign_id`
@@ -80,6 +80,10 @@ class ServiceLimits:
     max_total_ases: int = 20000
     max_retries: int = 5
     max_unit_timeout: float = 900.0
+    #: Ceiling a campaign's requested ``workers`` clamps to.  A clamp,
+    #: not a rejection: worker count is result-invariant, and the
+    #: scheduler's shared budget may grant even fewer under contention.
+    max_workers: int = 8
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,10 @@ class CampaignSpec:
     flaps: Optional[int] = None
     retries: int = 1
     unit_timeout: Optional[float] = None
+    #: Requested worker processes (``None``: the server default).
+    #: Clamped to :attr:`ServiceLimits.max_workers`; the concurrent
+    #: scheduler grants at most this many slots from the shared budget.
+    workers: Optional[int] = None
 
     # -- parsing -------------------------------------------------------
 
@@ -122,7 +130,7 @@ class CampaignSpec:
 
         known = {
             "kind", "seed", "instances", "protocols", "topology",
-            "period", "flaps", "retries", "unit_timeout",
+            "period", "flaps", "retries", "unit_timeout", "workers",
         }
         for field in sorted(set(payload) - known):
             fail(field, "unknown field")
@@ -233,6 +241,14 @@ class CampaignSpec:
             else:
                 unit_timeout = min(float(unit_timeout), limits.max_unit_timeout)
 
+        workers = payload.get("workers")
+        if workers is not None:
+            if not _is_int(workers) or workers < 1:
+                fail("workers", "must be a positive integer")
+                workers = None
+            else:
+                workers = min(workers, limits.max_workers)  # clamp
+
         if errors:
             raise SpecValidationError(errors)
 
@@ -246,6 +262,7 @@ class CampaignSpec:
             flaps=flaps,
             retries=retries,
             unit_timeout=unit_timeout,
+            workers=workers,
         )
 
     # -- identity ------------------------------------------------------
@@ -254,9 +271,10 @@ class CampaignSpec:
         """The defaults-filled document the campaign id hashes.
 
         Excludes the clamped execution knobs (``retries``,
-        ``unit_timeout``): they decide how patiently units are retried,
-        never what any unit computes, so two submissions differing only
-        there are the same campaign.
+        ``unit_timeout``, ``workers``): they decide how patiently units
+        are retried and how wide the pool fans out, never what any unit
+        computes, so two submissions differing only there are the same
+        campaign.
         """
         doc: Dict[str, Any] = {
             "kind": self.kind,

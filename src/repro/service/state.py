@@ -97,6 +97,10 @@ class Campaign:
     stop_event: threading.Event = field(default_factory=threading.Event)
     #: True when the stop was a client cancel (vs a server shutdown).
     cancel_requested: bool = False
+    #: Executor lane currently running this campaign, or ``None``.
+    #: Lanes are isolation domains: a poisoned, hung, or cancelled
+    #: campaign occupies only its own lane.
+    lane: Optional[int] = None
 
     def advance(self, new_state: str, *, at: float) -> None:
         self.state = advance(self.state, new_state)
@@ -106,6 +110,7 @@ class Campaign:
         """Prepare a fresh attempt (resubmit of failed/cancelled)."""
         self.stop_event = threading.Event()
         self.cancel_requested = False
+        self.lane = None
         self.resolved_units = 0
         self.executed = 0
         self.ledger_hits = 0
@@ -133,6 +138,8 @@ class Campaign:
         }
         if queue_position is not None:
             doc["queue_position"] = queue_position
+        if self.lane is not None:
+            doc["lane"] = self.lane
         if self.error is not None:
             doc["error"] = self.error
         if self.cancel_requested and self.state == RUNNING:

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 
 import pytest
 
 from repro.errors import CampaignError
 from repro.experiments.faults import FAULTS_ENV, combine_specs, fault_spec
-from repro.experiments.parallel import ParallelRunner
+from repro.experiments.parallel import ParallelRunner, WorkerBudget
 from repro.experiments.reporting import format_failure_report
 from repro.experiments.scenarios import single_provider_link_failure
 from repro.topology.generators import InternetTopologyConfig, generate_internet_topology
@@ -528,3 +529,85 @@ class TestSharedMemoryLifecycle:
         pickle_outcome = _campaign(_chaos_runner(workers=workers), tiny_graph)
         assert pickle_outcome.complete
         assert _stats(pickle_outcome) == baseline
+
+
+class TestWorkerBudget:
+    """The shared slot pool the concurrent campaign scheduler draws on."""
+
+    def test_grants_min_of_requested_and_free(self):
+        budget = WorkerBudget(4)
+        assert budget.acquire(2) == 2
+        assert budget.acquire(8) == 2  # only 2 left
+        assert budget.utilization() == {
+            "total": 4, "allocated": 4, "free": 0,
+        }
+
+    def test_exhausted_budget_still_grants_the_minimum(self):
+        # Floor of 1: a one-slot grant means in-process execution on
+        # the lane thread — a starved campaign degrades, never stalls.
+        budget = WorkerBudget(2)
+        assert budget.acquire(2) == 2
+        assert budget.acquire(4) == 1
+
+    def test_release_returns_slots(self):
+        budget = WorkerBudget(3)
+        granted = budget.acquire(3)
+        budget.release(granted)
+        assert budget.utilization()["free"] == 3
+        budget.release(99)  # over-release clamps, never goes negative
+        assert budget.utilization()["allocated"] == 0
+
+    def test_concurrent_acquires_never_lose_slots(self):
+        budget = WorkerBudget(8)
+        grants = []
+        lock = threading.Lock()
+
+        def worker():
+            granted = budget.acquire(2)
+            with lock:
+                grants.append(granted)
+            budget.release(granted)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(grants) == 16 and all(g >= 1 for g in grants)
+        assert budget.utilization() == {
+            "total": 8, "allocated": 0, "free": 8,
+        }
+
+    def test_budgeted_run_is_byte_identical(self, tiny_graph, baseline):
+        # A fully contended budget forces the 1-slot in-process path;
+        # the campaign bytes must not change.
+        budget = WorkerBudget(4)
+        hog = budget.acquire(4)
+        starved = _campaign(
+            _chaos_runner(workers=4, budget=budget), tiny_graph
+        )
+        assert starved.complete
+        assert _stats(starved) == baseline
+        budget.release(hog)
+        roomy = _campaign(
+            _chaos_runner(workers=4, budget=budget), tiny_graph
+        )
+        assert roomy.complete
+        assert _stats(roomy) == baseline
+        assert budget.utilization()["allocated"] == 0
+
+    def test_slots_are_released_even_when_units_fail(
+        self, tiny_graph, monkeypatch
+    ):
+        budget = WorkerBudget(4)
+        monkeypatch.setenv(
+            FAULTS_ENV,
+            fault_spec(
+                "raise", kind=KIND, seed=SEED, instance=1, protocol="bgp"
+            ),
+        )
+        outcome = _campaign(
+            _chaos_runner(workers=2, budget=budget), tiny_graph
+        )
+        assert outcome.failures
+        assert budget.utilization()["allocated"] == 0

@@ -42,7 +42,7 @@ HANG_THIRD_UNIT = fault_spec(
 
 
 class Daemon:
-    def __init__(self, tmp_path, *, env_extra=None):
+    def __init__(self, tmp_path, *, env_extra=None, extra_args=None):
         env = dict(os.environ, PYTHONPATH=SRC)
         env.update(env_extra or {})
         self.process = subprocess.Popen(
@@ -51,6 +51,7 @@ class Daemon:
                 "--port", "0",
                 "--ledger", str(tmp_path / "ledger.jsonl"),
                 "--journal", str(tmp_path / "journal.jsonl"),
+                *(extra_args or []),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
@@ -61,10 +62,11 @@ class Daemon:
         assert line.startswith("listening on http://"), line
         self.base = line.split("listening on ", 1)[1]
 
-    def request(self, method, path, body=None):
+    def request(self, method, path, body=None, headers=None):
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
-            self.base + path, data=data, method=method
+            self.base + path, data=data, method=method,
+            headers=headers or {},
         )
         try:
             with urllib.request.urlopen(request, timeout=30) as response:
@@ -72,8 +74,8 @@ class Daemon:
         except urllib.error.HTTPError as error:
             return error.code, error.read()
 
-    def json(self, method, path, body=None):
-        status, payload = self.request(method, path, body)
+    def json(self, method, path, body=None, headers=None):
+        status, payload = self.request(method, path, body, headers)
         return status, json.loads(payload)
 
     def wait_state(self, cid, states, timeout=90.0):

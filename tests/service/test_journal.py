@@ -116,3 +116,124 @@ class TestTornAndCorrupt:
         path.write_bytes(b"\x00\xff{{{\n[1,2]\n")
         campaigns, dropped = CampaignJournal(path).replay()
         assert campaigns == {} and dropped == 2
+
+
+class TestRotation:
+    def test_compact_preserves_the_replay_exactly(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1", ts=1.0)
+            journal.append(
+                {"event": "state", "id": "c1", "state": "done", "ts": 2.0,
+                 "result": {"mean": 1.5}, "executed": 4, "ledger_hits": 0,
+                 "failures": []}
+            )
+            _submit(journal, "c2", ts=3.0)
+            journal.append(
+                {"event": "state", "id": "c2", "state": "running", "ts": 4.0}
+            )
+            before, _ = journal.replay()
+            summary = journal.compact()
+        assert summary["campaigns"] == 2 and summary["evicted"] == 0
+        assert summary["bytes_after"] < summary["bytes_before"]
+        after, dropped = CampaignJournal(path).replay()
+        assert dropped == 0
+        assert after == before  # values *and* insertion order
+        assert list(after) == list(before)
+
+    def test_snapshot_plus_tail_replays_like_the_unrotated_file(
+        self, tmp_path
+    ):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1", ts=1.0)
+            journal.append(
+                {"event": "state", "id": "c1", "state": "running", "ts": 2.0}
+            )
+            journal.compact()
+            # Tail records after the rotation keep folding on top.
+            journal.append(
+                {"event": "state", "id": "c1", "state": "done", "ts": 3.0,
+                 "result": {"mean": 2.0}}
+            )
+            _submit(journal, "c2", ts=4.0)
+        campaigns, dropped = CampaignJournal(path).replay()
+        assert dropped == 0
+        assert campaigns["c1"]["state"] == "done"
+        assert campaigns["c1"]["result"] == {"mean": 2.0}
+        assert campaigns["c2"]["state"] == "queued"
+
+    def test_compact_is_idempotent_and_recursive(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1")
+            journal.compact()
+            first, _ = journal.replay()
+            journal.compact()  # snapshot of a snapshot
+            second, _ = journal.replay()
+        assert first == second
+
+    def test_max_age_evicts_only_old_terminal_campaigns(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "old-done", ts=10.0)
+            journal.append(
+                {"event": "state", "id": "old-done", "state": "done",
+                 "ts": 20.0}
+            )
+            _submit(journal, "old-queued", ts=10.0)  # never evicted
+            _submit(journal, "fresh-done", ts=10.0)
+            journal.append(
+                {"event": "state", "id": "fresh-done", "state": "done",
+                 "ts": 990.0}
+            )
+            summary = journal.compact(max_age_seconds=100, now=1000.0)
+        assert summary["evicted"] == 1
+        campaigns, _ = CampaignJournal(path).replay()
+        assert set(campaigns) == {"old-queued", "fresh-done"}
+
+    def test_maybe_compact_triggers_on_size_only(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path)
+        _submit(journal, "c1")
+        assert journal.maybe_compact(10**6) is False  # well under
+        for ts in range(2, 30):
+            journal.append(
+                {"event": "state", "id": "c1", "state": "running",
+                 "ts": float(ts)}
+            )
+        grown = journal.size()
+        assert journal.maybe_compact(grown // 2) is True
+        assert journal.size() < grown
+        # Thrash guard: a snapshot already past the bound does not
+        # recompact until the file doubles again.
+        assert journal.maybe_compact(1) is False
+        journal.close()
+
+    def test_appends_survive_rotation(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1")
+            journal.compact()
+            _submit(journal, "c2")  # append on the rotated file
+        campaigns, dropped = CampaignJournal(path).replay()
+        assert dropped == 0
+        assert set(campaigns) == {"c1", "c2"}
+
+    def test_stats_counts_records_snapshots_and_liveness(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            _submit(journal, "c1")
+            journal.append(
+                {"event": "state", "id": "c1", "state": "done", "ts": 2.0}
+            )
+            _submit(journal, "c2")
+            journal.compact()
+            _submit(journal, "c3")
+            stats = journal.stats()
+        assert stats["records"] == 2  # one snapshot + one tail append
+        assert stats["snapshots"] == 1
+        assert stats["campaigns"] == 3
+        assert stats["active_campaigns"] == 2  # c2 queued, c3 queued
+        assert stats["dropped_records"] == 0
+        assert stats["file_bytes"] > 0

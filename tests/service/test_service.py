@@ -53,10 +53,11 @@ class ServiceClient:
         self._thread.start()
         self.base = f"http://127.0.0.1:{self.server.server_address[1]}"
 
-    def request(self, method, path, body=None, raw=False):
+    def request(self, method, path, body=None, raw=False, headers=None):
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
-            self.base + path, data=data, method=method
+            self.base + path, data=data, method=method,
+            headers=headers or {},
         )
         try:
             with urllib.request.urlopen(request, timeout=30) as response:
@@ -218,7 +219,9 @@ class TestAdmissionControl:
         assert headers["Retry-After"]
 
     def test_overload_never_disturbs_the_inflight_campaign(self, tmp_path):
-        fixture = ServiceClient(tmp_path, max_queue=1)
+        # One lane makes the overload deterministic: the flood cannot
+        # drain through a second lane while the control runs.
+        fixture = ServiceClient(tmp_path, max_queue=1, max_concurrent=1)
         try:
             _, doc, _ = fixture.request(
                 "POST", "/campaigns", dict(SPEC, instances=40)
@@ -367,3 +370,155 @@ class TestRecovery:
             assert final["state"] == "done"
         finally:
             revived.close()
+
+
+class TestAuth:
+    """Bearer-token gating of the mutating endpoints."""
+
+    @pytest.fixture
+    def locked(self, tmp_path):
+        fixture = ServiceClient(
+            tmp_path, start_executor=False, auth_token="s3cret"
+        )
+        yield fixture
+        fixture.server.shutdown()
+        fixture.server.server_close()
+
+    def test_posts_without_token_are_401(self, locked):
+        status, doc, headers = locked.request("POST", "/campaigns", SPEC)
+        assert status == 401
+        assert headers["WWW-Authenticate"] == "Bearer"
+        assert "bearer token" in doc["error"]
+        assert locked.request(
+            "POST", "/campaigns/deadbeef/cancel"
+        )[0] == 401
+
+    def test_wrong_token_is_401(self, locked):
+        status, _, _ = locked.request(
+            "POST", "/campaigns", SPEC,
+            headers={"Authorization": "Bearer wrong"},
+        )
+        assert status == 401
+
+    def test_correct_token_admits(self, locked):
+        status, doc, _ = locked.request(
+            "POST", "/campaigns", SPEC,
+            headers={"Authorization": "Bearer s3cret"},
+        )
+        assert status == 202
+        status, _, _ = locked.request(
+            "POST", f"/campaigns/{doc['id']}/cancel",
+            headers={"Authorization": "Bearer s3cret"},
+        )
+        assert status == 202
+
+    def test_probes_and_reads_stay_open(self, locked):
+        assert locked.request("GET", "/healthz")[0] == 200
+        # readyz answers without a token too (503: parked executor).
+        assert locked.request("GET", "/readyz")[0] == 503
+        assert locked.request("GET", "/campaigns")[0] == 200
+
+    def test_no_token_configured_means_open(self, client):
+        assert client.request("POST", "/campaigns", SPEC)[0] == 202
+
+
+class TestReadiness:
+    def test_readyz_reports_lanes_queue_and_budget(self, client):
+        status, doc, _ = client.request("GET", "/readyz")
+        assert status == 200
+        assert doc["ready"] is True
+        assert [lane["lane"] for lane in doc["lanes"]] == list(
+            range(len(client.service._lanes))
+        )
+        assert all(lane["busy"] in (True, False) for lane in doc["lanes"])
+        assert doc["queue_depth"] == 0
+        budget = doc["worker_budget"]
+        assert budget["total"] == budget["allocated"] + budget["free"]
+
+    def test_busy_lane_is_visible(self, tmp_path):
+        fixture = ServiceClient(tmp_path)
+        try:
+            _, doc, _ = fixture.request(
+                "POST", "/campaigns", dict(SPEC, instances=80)
+            )
+            cid = doc["id"]
+            deadline = time.monotonic() + 30
+            busy = None
+            while time.monotonic() < deadline:
+                _, ready_doc, _ = fixture.request("GET", "/readyz")
+                busy = [
+                    lane for lane in ready_doc["lanes"] if lane["busy"]
+                ]
+                if busy:
+                    break
+                time.sleep(0.01)
+            assert busy and busy[0]["campaign"] == cid
+            fixture.wait_terminal(cid)
+        finally:
+            fixture.close()
+
+
+class TestRetryAfter:
+    def test_fallback_constant_before_any_campaign_finishes(self, parked):
+        assert parked.service.retry_after_estimate() == (
+            parked.service.config.retry_after
+        )
+
+    def test_estimate_scales_with_depth_and_durations(self, parked):
+        service = parked.service
+        # Two queued campaigns, no busy lanes, 10s mean duration,
+        # default 2 lanes: ceil((2 + 1) * 10 / 2) = 15.
+        parked.request("POST", "/campaigns", SPEC)
+        parked.request("POST", "/campaigns", dict(SPEC, seed=7))
+        service._durations.extend([8.0, 12.0])
+        assert service.retry_after_estimate() == 15
+
+    def test_estimate_is_floored_and_capped(self, parked):
+        service = parked.service
+        service._durations.append(0.001)
+        assert service.retry_after_estimate() == 1
+        service._durations.clear()
+        service._durations.append(1e6)
+        assert service.retry_after_estimate() == 300
+
+    def test_queue_full_carries_the_estimate(self, tmp_path):
+        fixture = ServiceClient(
+            tmp_path, start_executor=False, max_queue=1
+        )
+        try:
+            fixture.service._durations.append(20.0)
+            fixture.request("POST", "/campaigns", SPEC)
+            status, _, headers = fixture.request(
+                "POST", "/campaigns", dict(SPEC, seed=9)
+            )
+            assert status == 429
+            estimate = fixture.service.retry_after_estimate()
+            assert int(headers["Retry-After"]) == estimate > 1
+        finally:
+            fixture.server.shutdown()
+            fixture.server.server_close()
+
+
+class TestLaneStatus:
+    def test_running_campaign_reports_its_lane(self, tmp_path):
+        fixture = ServiceClient(tmp_path)
+        try:
+            _, doc, _ = fixture.request(
+                "POST", "/campaigns", dict(SPEC, instances=80)
+            )
+            cid = doc["id"]
+            deadline = time.monotonic() + 30
+            seen_lane = None
+            while time.monotonic() < deadline:
+                _, status_doc, _ = fixture.request(
+                    "GET", f"/campaigns/{cid}"
+                )
+                if status_doc["state"] == "running":
+                    seen_lane = status_doc.get("lane")
+                    break
+                time.sleep(0.01)
+            assert seen_lane in range(len(fixture.service._lanes))
+            final = fixture.wait_terminal(cid)
+            assert "lane" not in final
+        finally:
+            fixture.close()

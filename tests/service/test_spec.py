@@ -64,13 +64,28 @@ class TestParsing:
         assert _fields(excinfo) == {"topology"}
 
     def test_execution_knobs_clamp_instead_of_rejecting(self):
-        limits = ServiceLimits(max_retries=2, max_unit_timeout=60.0)
+        limits = ServiceLimits(
+            max_retries=2, max_unit_timeout=60.0, max_workers=4
+        )
         spec = CampaignSpec.parse(
-            {"kind": "fig2", "retries": 99, "unit_timeout": 3600.0},
+            {"kind": "fig2", "retries": 99, "unit_timeout": 3600.0,
+             "workers": 64},
             limits,
         )
         assert spec.retries == 2
         assert spec.unit_timeout == 60.0
+        assert spec.workers == 4
+
+    def test_workers_must_be_a_positive_integer(self):
+        for bad in (0, -1, 1.5, "four", True):
+            with pytest.raises(SpecValidationError) as excinfo:
+                CampaignSpec.parse({"kind": "fig2", "workers": bad})
+            assert _fields(excinfo) == {"workers"}
+
+    def test_workers_default_to_none(self):
+        spec = CampaignSpec.parse({"kind": "fig2", "workers": 3})
+        assert spec.workers == 3
+        assert CampaignSpec.parse({"kind": "fig2"}).workers is None
 
     def test_flap_knobs_only_valid_for_episode_kinds(self):
         with pytest.raises(SpecValidationError) as excinfo:
@@ -93,7 +108,8 @@ class TestIdentity:
 
     def test_execution_knobs_do_not_change_the_id(self):
         patient = CampaignSpec.parse(
-            {"kind": "fig2", "retries": 3, "unit_timeout": 120.0}
+            {"kind": "fig2", "retries": 3, "unit_timeout": 120.0,
+             "workers": 6}
         )
         default = CampaignSpec.parse({"kind": "fig2"})
         assert patient.campaign_id() == default.campaign_id()

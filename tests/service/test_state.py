@@ -94,5 +94,15 @@ class TestCampaignRecord:
         campaign.cancel_requested = True
         assert campaign.status_document()["cancelling"] is True
 
+    def test_status_document_reports_the_lane_only_while_assigned(self):
+        campaign = Campaign(
+            campaign_id="c1", spec_document={}, state=RUNNING,
+        )
+        assert "lane" not in campaign.status_document()
+        campaign.lane = 1
+        assert campaign.status_document()["lane"] == 1
+        campaign.reset_for_requeue()
+        assert campaign.lane is None
+
     def test_terminal_states_cover_exactly_the_four(self):
         assert TERMINAL_STATES == {DONE, PARTIAL, FAILED, CANCELLED}

@@ -112,3 +112,18 @@ class TestServeParser:
         assert args.serve_ledger == "l.jsonl"
         assert args.journal is None  # derived: <ledger>.journal
         assert args.max_queue == 8
+        assert args.max_concurrent == 2
+        assert args.journal_max_bytes is None  # rotation off by default
+        assert args.auth_token is None  # open by default
+        assert args.max_workers == 8
+
+    def test_journal_subcommands_parse(self):
+        args = build_parser().parse_args(["journal", "stats", "j.jsonl"])
+        assert args.journal_command == "stats" and args.path == "j.jsonl"
+        args = build_parser().parse_args(
+            ["journal", "compact", "j.jsonl", "--max-age-seconds", "60"]
+        )
+        assert args.journal_command == "compact"
+        assert args.max_age_seconds == 60.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["journal"])  # subcommand required

@@ -185,11 +185,35 @@ def test_service_doc_covers_the_contract():
         assert topic in text, f"service guide lost its {topic!r} coverage"
 
 
+def test_service_doc_covers_the_concurrency_model():
+    """The guide must document lanes, the shared budget, and rotation."""
+    text = SERVICE.read_text()
+    for topic in (
+        "## Concurrency: lanes and the shared worker budget",
+        "`--max-concurrent`",
+        "FIFO fairness",
+        "Lane isolation",
+        "One shared budget",
+        "min(requested, available)",
+        "## Journal rotation",
+        "`--journal-max-bytes",
+        "journal compact",
+        "journal stats",
+        "snapshot + tail",
+        "`--auth-token",
+        "REPRO_SERVICE_TOKEN",
+        "Authorization: Bearer",
+    ):
+        assert topic in text, f"service guide lost its {topic!r} coverage"
+
+
 def test_readme_documents_the_campaign_service():
     text = README.read_text()
     assert "## Campaign service" in text
     assert "serve" in text
     assert "docs/service.md" in text
+    assert "--max-concurrent" in text
+    assert "--journal-max-bytes" in text
 
 
 def test_architecture_covers_the_service():
